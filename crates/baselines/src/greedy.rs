@@ -1,0 +1,78 @@
+//! The greedy loaded-trajectory assembly shared by all stay-point baselines.
+
+use lead_core::processing::{Candidate, ProcessedTrajectory};
+
+/// Assembles a `(loading, unloading)` stay-point pair from per-stay l/u
+/// flags: the first flagged stay is the loading stay, the last the unloading
+/// stay. With fewer than two *distinct* flagged stays, the paper's default
+/// loaded trajectory — first extracted stay to last extracted stay — is
+/// returned.
+///
+/// # Panics
+/// Panics if `n_stays < 2` or `lu_flags.len() != n_stays`.
+pub fn greedy_assemble(n_stays: usize, lu_flags: &[bool]) -> (usize, usize) {
+    assert!(n_stays >= 2, "need at least two stay points");
+    assert_eq!(lu_flags.len(), n_stays, "one flag per stay point");
+    let first = lu_flags.iter().position(|&f| f);
+    let last = lu_flags.iter().rposition(|&f| f);
+    match (first, last) {
+        (Some(a), Some(b)) if a < b => (a, b),
+        // 0 or 1 flagged stay: the default loaded trajectory.
+        _ => (0, n_stays - 1),
+    }
+}
+
+/// A baseline's detection on one raw trajectory.
+#[derive(Debug, Clone)]
+pub struct SpDetection {
+    /// The processed trajectory the indexes refer to.
+    pub processed: ProcessedTrajectory,
+    /// Detected loading stay-point index.
+    pub loading: usize,
+    /// Detected unloading stay-point index.
+    pub unloading: usize,
+}
+
+impl SpDetection {
+    /// The detected loaded trajectory as a candidate pair.
+    pub fn candidate(&self) -> Candidate {
+        Candidate::new(self.loading, self.unloading)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_last_flags_win() {
+        assert_eq!(greedy_assemble(5, &[false, true, true, false, true]), (1, 4));
+    }
+
+    #[test]
+    fn no_flags_fall_back_to_default() {
+        assert_eq!(greedy_assemble(4, &[false; 4]), (0, 3));
+    }
+
+    #[test]
+    fn single_flag_falls_back_to_default() {
+        assert_eq!(greedy_assemble(4, &[false, false, true, false]), (0, 3));
+    }
+
+    #[test]
+    fn exactly_two_flags() {
+        assert_eq!(greedy_assemble(3, &[true, false, true]), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_stay_rejected() {
+        let _ = greedy_assemble(1, &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one flag per stay point")]
+    fn flag_arity_checked() {
+        let _ = greedy_assemble(3, &[true, false]);
+    }
+}

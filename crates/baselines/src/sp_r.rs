@@ -1,0 +1,160 @@
+//! SP-R: the rule-based whitelist baseline (Section VI-A, Baselines (1)).
+
+use crate::greedy::{greedy_assemble, SpDetection};
+use crate::whitelist::Whitelist;
+use lead_core::config::LeadConfig;
+use lead_core::pipeline::TrainSample;
+use lead_core::processing::ProcessedTrajectory;
+use lead_geo::Trajectory;
+
+/// The SP-R detector: a stay point is a potential l/u stay point iff a
+/// whitelisted location lies within the 500 m search radius; the greedy
+/// first/last strategy then assembles the loaded trajectory.
+#[derive(Debug, Clone)]
+pub struct SpR {
+    whitelist: Whitelist,
+    config: LeadConfig,
+    /// Search radius around each stay point (paper: 500 m).
+    pub search_radius_m: f64,
+    /// Use the grid index instead of the paper's linear scan (off by
+    /// default; exists for the efficiency ablation).
+    pub use_index: bool,
+}
+
+impl SpR {
+    /// Builds SP-R from the training archive.
+    pub fn fit(samples: &[TrainSample], config: &LeadConfig) -> Self {
+        Self {
+            whitelist: Whitelist::from_training(samples, config),
+            config: config.clone(),
+            search_radius_m: 500.0,
+            use_index: false,
+        }
+    }
+
+    /// Builds SP-R from an explicit whitelist (testing).
+    pub fn with_whitelist(whitelist: Whitelist, config: &LeadConfig) -> Self {
+        Self {
+            whitelist,
+            config: config.clone(),
+            search_radius_m: 500.0,
+            use_index: false,
+        }
+    }
+
+    /// The underlying whitelist.
+    pub fn whitelist(&self) -> &Whitelist {
+        &self.whitelist
+    }
+
+    /// Detects the loaded trajectory; `None` when fewer than two stay points
+    /// are extracted.
+    pub fn detect(&self, raw: &Trajectory) -> Option<SpDetection> {
+        let processed = ProcessedTrajectory::from_raw(raw, &self.config);
+        let n = processed.num_stay_points();
+        if n < 2 {
+            return None;
+        }
+        let flags: Vec<bool> = processed
+            .stay_points
+            .iter()
+            .map(|sp| {
+                let (lat, lng) = processed
+                    .cleaned
+                    .slice(sp.start, sp.end)
+                    .centroid()
+                    .expect("stay points are non-empty");
+                if self.use_index {
+                    self.whitelist
+                        .contains_near_indexed(lat, lng, self.search_radius_m)
+                } else {
+                    self.whitelist
+                        .contains_near_scan(lat, lng, self.search_radius_m)
+                }
+            })
+            .collect();
+        let (loading, unloading) = greedy_assemble(n, &flags);
+        Some(SpDetection {
+            processed,
+            loading,
+            unloading,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead_geo::distance::meters_to_lng_deg;
+    use lead_geo::GpsPoint;
+
+    /// Four dwells at 0 / 5 / 10 / 15 km east, 20 minutes each.
+    fn four_stop_raw() -> Trajectory {
+        let per_km = meters_to_lng_deg(1_000.0, 32.0);
+        let mut pts = Vec::new();
+        let mut t = 0;
+        for block in 0..4 {
+            let lng = 120.9 + block as f64 * 5.0 * per_km;
+            for _ in 0..10 {
+                pts.push(GpsPoint::new(32.0, lng, t));
+                t += 120;
+            }
+            for k in 1..=3 {
+                pts.push(GpsPoint::new(32.0, lng + k as f64 * 1.25 * per_km, t));
+                t += 120;
+            }
+        }
+        Trajectory::new(pts)
+    }
+
+    fn stop_latlng(block: usize) -> (f64, f64) {
+        (32.0, 120.9 + block as f64 * 5.0 * meters_to_lng_deg(1_000.0, 32.0))
+    }
+
+    #[test]
+    fn whitelisted_stops_are_detected() {
+        // Whitelist covers stops 1 and 2 → loaded trajectory ⟨sp_1 --→ sp_2⟩.
+        let wl = Whitelist::from_locations(vec![stop_latlng(1), stop_latlng(2)]);
+        let spr = SpR::with_whitelist(wl, &LeadConfig::paper());
+        let det = spr.detect(&four_stop_raw()).unwrap();
+        assert_eq!((det.loading, det.unloading), (1, 2));
+        assert_eq!(det.candidate().start_sp, 1);
+    }
+
+    #[test]
+    fn uncovered_stops_trigger_default_fallback() {
+        let wl = Whitelist::from_locations(vec![(40.0, 110.0)]); // nowhere near
+        let spr = SpR::with_whitelist(wl, &LeadConfig::paper());
+        let det = spr.detect(&four_stop_raw()).unwrap();
+        assert_eq!((det.loading, det.unloading), (0, 3)); // default
+    }
+
+    #[test]
+    fn single_covered_stop_also_falls_back() {
+        let wl = Whitelist::from_locations(vec![stop_latlng(2)]);
+        let spr = SpR::with_whitelist(wl, &LeadConfig::paper());
+        let det = spr.detect(&four_stop_raw()).unwrap();
+        assert_eq!((det.loading, det.unloading), (0, 3));
+    }
+
+    #[test]
+    fn index_and_scan_modes_agree() {
+        let wl = Whitelist::from_locations(vec![stop_latlng(0), stop_latlng(3)]);
+        let mut spr = SpR::with_whitelist(wl, &LeadConfig::paper());
+        let a = spr.detect(&four_stop_raw()).unwrap();
+        spr.use_index = true;
+        let b = spr.detect(&four_stop_raw()).unwrap();
+        assert_eq!((a.loading, a.unloading), (b.loading, b.unloading));
+    }
+
+    #[test]
+    fn too_few_stay_points_returns_none() {
+        let wl = Whitelist::from_locations(vec![stop_latlng(0)]);
+        let spr = SpR::with_whitelist(wl, &LeadConfig::paper());
+        let short = Trajectory::new(vec![
+            GpsPoint::new(32.0, 120.9, 0),
+            GpsPoint::new(32.0, 120.95, 120),
+        ]);
+        assert!(spr.detect(&short).is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Benchmarks of the detection component (Section V): grouped stacked-BiLSTM
+//! detector inference as the stay-point count grows, against the NoGro MLP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lead_core::config::LeadConfig;
+use lead_core::detection::{build_groups, GroupDetector, MlpDetector};
+use lead_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cvec(dim: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(1, dim, |_, k| (((salt * 13 + k) as f32) * 0.21).sin() * 0.5)
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let cfg = LeadConfig::paper();
+    let dim = cfg.c_vec_dim();
+    let mut rng = StdRng::seed_from_u64(21);
+    let det = GroupDetector::new(&cfg, dim, &mut rng);
+    let mlp = MlpDetector::new(dim, &mut rng);
+
+    let mut g = c.benchmark_group("detector_inference_by_stay_points");
+    g.sample_size(10);
+    for n in [5usize, 8, 11, 14] {
+        let groups = build_groups(n);
+        let cvecs: Vec<Vec<Matrix>> = groups
+            .forward
+            .iter()
+            .map(|sub| {
+                sub.iter()
+                    .map(|cand| cvec(dim, cand.start_sp * 31 + cand.end_sp))
+                    .collect()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("stacked_bilstm", n), &n, |b, _| {
+            b.iter(|| {
+                let refs: Vec<Vec<&Matrix>> =
+                    cvecs.iter().map(|s| s.iter().collect()).collect();
+                black_box(det.probabilities(&refs))
+            })
+        });
+        let flat: Vec<Matrix> = cvecs.iter().flatten().cloned().collect();
+        g.bench_with_input(BenchmarkId::new("mlp_nogro", n), &n, |b, _| {
+            b.iter(|| black_box(mlp.probabilities(&flat)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation bench: haversine vs. the equirectangular fast path (DESIGN.md §5).
+//!
+//! Stay-point extraction and grid filtering call a distance function in their
+//! innermost loops; this quantifies what the approximate path buys.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lead_geo::distance::{equirectangular_m, haversine_m};
+
+fn bench_distance(c: &mut Criterion) {
+    let pairs: Vec<(f64, f64, f64, f64)> = (0..1024)
+        .map(|i| {
+            let f = i as f64;
+            (
+                32.0 + (f * 0.37).sin() * 0.2,
+                120.9 + (f * 0.73).cos() * 0.2,
+                32.0 + (f * 0.11).cos() * 0.2,
+                120.9 + (f * 0.29).sin() * 0.2,
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("distance_1024_pairs");
+    g.bench_function("haversine", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(a, bb, cc, d) in &pairs {
+                acc += haversine_m(black_box(a), black_box(bb), black_box(cc), black_box(d));
+            }
+            acc
+        })
+    });
+    g.bench_function("equirectangular", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &(a, bb, cc, d) in &pairs {
+                acc += equirectangular_m(black_box(a), black_box(bb), black_box(cc), black_box(d));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation bench (DESIGN.md §5): grid-indexed radius queries vs. linear
+//! scans, for both the POI feature extraction (100 m counts) and the SP-R
+//! whitelist search (500 m membership).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lead_baselines::Whitelist;
+use lead_synth::{generate_dataset, City, SynthConfig};
+
+fn world() -> City {
+    let mut cfg = SynthConfig::tiny();
+    cfg.num_background_pois = 3_000;
+    generate_dataset(&cfg).city
+}
+
+fn bench_poi_queries(c: &mut Criterion) {
+    let city = world();
+    let queries: Vec<(f64, f64)> = (0..256)
+        .map(|i| {
+            let f = i as f64;
+            (32.0 + (f * 0.17).sin() * 0.15, 120.9 + (f * 0.31).cos() * 0.15)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("poi_counts_256_queries");
+    g.bench_function("grid_index", |b| {
+        b.iter(|| {
+            for &(lat, lng) in &queries {
+                black_box(city.poi_db.category_counts_within(lat, lng, 100.0));
+            }
+        })
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            for &(lat, lng) in &queries {
+                black_box(city.poi_db.category_counts_within_scan(lat, lng, 100.0));
+            }
+        })
+    });
+    g.finish();
+
+    // Whitelist membership at SP-R's 500 m radius.
+    let locations: Vec<(f64, f64)> = city
+        .loading_sites
+        .iter()
+        .chain(&city.unloading_sites)
+        .map(|s| (s.lat, s.lng))
+        .collect();
+    let wl = Whitelist::from_locations(locations);
+    let mut g = c.benchmark_group("whitelist_256_queries");
+    g.bench_function("linear_scan_paper", |b| {
+        b.iter(|| {
+            for &(lat, lng) in &queries {
+                black_box(wl.contains_near_scan(lat, lng, 500.0));
+            }
+        })
+    });
+    g.bench_function("grid_index", |b| {
+        b.iter(|| {
+            for &(lat, lng) in &queries {
+                black_box(wl.contains_near_indexed(lat, lng, 500.0));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_poi_queries);
+criterion_main!(benches);

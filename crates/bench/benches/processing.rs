@@ -1,0 +1,67 @@
+//! Benchmarks of the raw trajectory processing component (Section III):
+//! noise filtering, stay-point extraction (including a `D_max`/`T_min`
+//! parameter sweep — DESIGN.md §5), and candidate generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lead_core::config::LeadConfig;
+use lead_core::processing::{
+    enumerate_candidates, extract_stay_points, filter_noise, ProcessedTrajectory,
+};
+use lead_geo::Trajectory;
+use lead_synth::{generate_dataset, SynthConfig};
+
+fn sample_trajectories() -> Vec<Trajectory> {
+    let mut cfg = SynthConfig::tiny();
+    cfg.num_trucks = 12;
+    cfg.days_per_truck = 2;
+    let ds = generate_dataset(&cfg);
+    ds.train.into_iter().map(|s| s.raw).collect()
+}
+
+fn bench_processing(c: &mut Criterion) {
+    let trajectories = sample_trajectories();
+    let cleaned: Vec<Trajectory> = trajectories
+        .iter()
+        .map(|t| filter_noise(t, 130.0))
+        .collect();
+    let cfg = LeadConfig::paper();
+
+    c.bench_function("noise_filter/24_trajectories", |b| {
+        b.iter(|| {
+            for t in &trajectories {
+                black_box(filter_noise(t, black_box(130.0)));
+            }
+        })
+    });
+
+    let mut g = c.benchmark_group("stay_point_extraction");
+    for (d_max, t_min) in [(200.0, 900.0), (500.0, 900.0), (500.0, 1800.0), (1000.0, 900.0)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d_max}_t{t_min}")),
+            &(d_max, t_min),
+            |b, &(d, t)| {
+                b.iter(|| {
+                    for tr in &cleaned {
+                        black_box(extract_stay_points(tr, d, t));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+
+    c.bench_function("candidate_enumeration/n14", |b| {
+        b.iter(|| black_box(enumerate_candidates(black_box(14))))
+    });
+
+    c.bench_function("full_processing/24_trajectories", |b| {
+        b.iter(|| {
+            for t in &trajectories {
+                black_box(ProcessedTrajectory::from_raw(t, &cfg));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_processing);
+criterion_main!(benches);

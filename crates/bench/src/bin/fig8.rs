@@ -1,0 +1,38 @@
+//! Regenerates **Figure 8**: mean inference time per raw trajectory of SP-R /
+//! SP-GRU / SP-LSTM / LEAD, per stay-point bucket on the test split.
+//!
+//! Absolute times are not comparable with the paper's (Python + Tesla V100
+//! there; single-core Rust here); EXPERIMENTS.md discusses which *relative*
+//! claims survive the substitution.
+//!
+//! Usage: `cargo run -p lead-bench --release --bin fig8 [tiny|quick|full]`
+
+use lead_baselines::SpRnnConfig;
+use lead_bench::{write_result, Scale};
+use lead_eval::report::timing_table;
+use lead_eval::{train_and_evaluate, Method};
+use lead_synth::generate_dataset;
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = scale.synth_config();
+    let lead_cfg = scale.lead_config();
+    let rnn_cfg = SpRnnConfig::paper();
+
+    println!("Figure 8 reproduction — scale `{}`", scale.name());
+    let ds = generate_dataset(&synth);
+
+    let mut outcomes = Vec::new();
+    for method in Method::table3() {
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        println!("{:<10} measured", out.name);
+        outcomes.push(out);
+    }
+
+    let table = timing_table(
+        "Figure 8: Mean Inference Time (ms) of Baselines and Ours (LEAD) on the Test Set",
+        &outcomes,
+    );
+    println!("\n{table}");
+    write_result(&format!("fig8_{}.txt", scale.name()), &table);
+}

@@ -1,0 +1,116 @@
+//! Runs every experiment of the paper's evaluation section back to back:
+//! Table III, Table IV, Figure 8, Figure 9, Figure 10.
+//!
+//! Usage: `cargo run -p lead-bench --release --bin run_all [tiny|quick|full]`
+//!
+//! This is a thin sequential driver over the per-artefact binaries' logic;
+//! the shared dataset is generated once. Table III and Figure 8 come from a
+//! single train+evaluate pass (the four methods are trained once and both
+//! accuracy and timing are recorded).
+
+use lead_baselines::SpRnnConfig;
+use lead_bench::{write_result, Scale};
+use lead_eval::report::{accuracy_csv, accuracy_table, curve_csv, iou_table, timing_table};
+use lead_eval::{train_and_evaluate, Method};
+use lead_synth::generate_dataset;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = scale.synth_config();
+    let lead_cfg = scale.lead_config();
+    let rnn_cfg = SpRnnConfig::paper();
+    let suite_start = Instant::now();
+
+    println!("LEAD full experiment suite — scale `{}`", scale.name());
+    let ds = generate_dataset(&synth);
+    println!(
+        "dataset: {} train / {} val / {} test samples, {} POIs",
+        ds.train.len(),
+        ds.val.len(),
+        ds.test.len(),
+        ds.city.poi_db.len()
+    );
+
+    // ---- Table III + Figure 8 (one pass) ---------------------------------
+    let mut t3 = Vec::new();
+    for method in Method::table3() {
+        let t = Instant::now();
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        println!("[table3/fig8] {:<10} {:.1}s", out.name, t.elapsed().as_secs_f64());
+        t3.push(out);
+    }
+    let table3 = accuracy_table(
+        "Table III: Accuracy of Baselines and Ours (LEAD) on the Test Set",
+        &t3,
+    );
+    let fig8 = timing_table(
+        "Figure 8: Mean Inference Time (ms) of Baselines and Ours (LEAD) on the Test Set",
+        &t3,
+    );
+    let soft = iou_table(
+        "Soft accuracy: mean temporal IoU of detected vs true loaded intervals",
+        &t3,
+    );
+    println!("\n{table3}\n{fig8}\n{soft}");
+    write_result(&format!("table3_{}.txt", scale.name()), &table3);
+    write_result(&format!("table3_{}.csv", scale.name()), &accuracy_csv(&t3));
+    write_result(&format!("fig8_{}.txt", scale.name()), &fig8);
+    write_result(&format!("iou_{}.txt", scale.name()), &soft);
+
+    // Figure 10 curves come from the full-LEAD run of the Table III pass.
+    let lead_outcome = t3.last().expect("table3 ran");
+    let mut fig10_csv = String::from("series,epoch,loss\n");
+    for (name, curve) in [
+        ("Forward Detector", &lead_outcome.report.forward_kld_curve),
+        ("Backward Detector", &lead_outcome.report.backward_kld_curve),
+    ] {
+        for line in curve_csv(name, curve).lines().skip(1) {
+            fig10_csv.push_str(line);
+            fig10_csv.push('\n');
+        }
+    }
+    write_result(&format!("fig10_{}.csv", scale.name()), &fig10_csv);
+
+    // ---- Table IV + Figure 9 --------------------------------------------------
+    let mut t4 = Vec::new();
+    let mut fig9_csv = String::from("series,epoch,loss\n");
+    for method in Method::table4() {
+        // Reuse the LEAD outcome from the Table III pass for the final row.
+        let out = if method == Method::Lead(lead_core::pipeline::LeadOptions::full()) {
+            lead_outcome.clone()
+        } else {
+            let t = Instant::now();
+            let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+            println!("[table4] {:<12} {:.1}s", out.name, t.elapsed().as_secs_f64());
+            out
+        };
+        // Figure 9 series: the AE curves of LEAD / -NoSel / -NoHie.
+        let fig9_name = match out.name {
+            "LEAD" => Some("HA in LEAD"),
+            "LEAD-NoSel" => Some("HA in LEAD-NoSel"),
+            "LEAD-NoHie" => Some("HA in LEAD-NoHie"),
+            _ => None,
+        };
+        if let Some(name) = fig9_name {
+            for line in curve_csv(name, &out.report.ae_curve).lines().skip(1) {
+                fig9_csv.push_str(line);
+                fig9_csv.push('\n');
+            }
+        }
+        t4.push(out);
+    }
+    let table4 = accuracy_table(
+        "Table IV: Accuracy of LEAD and LEAD-Variants on the Test Set",
+        &t4,
+    );
+    println!("\n{table4}");
+    write_result(&format!("table4_{}.txt", scale.name()), &table4);
+    write_result(&format!("table4_{}.csv", scale.name()), &accuracy_csv(&t4));
+    write_result(&format!("fig9_{}.csv", scale.name()), &fig9_csv);
+
+    println!(
+        "\nsuite finished in {:.1} minutes",
+        suite_start.elapsed().as_secs_f64() / 60.0
+    );
+}

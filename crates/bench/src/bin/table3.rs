@@ -1,0 +1,52 @@
+//! Regenerates **Table III**: detection accuracy of SP-R / SP-GRU / SP-LSTM /
+//! LEAD per stay-point bucket on the test split.
+//!
+//! Usage: `cargo run -p lead-bench --release --bin table3 [tiny|quick|full]`
+
+use lead_baselines::SpRnnConfig;
+use lead_bench::{write_result, Scale};
+use lead_eval::report::{accuracy_csv, accuracy_table, iou_table};
+use lead_eval::{train_and_evaluate, Method};
+use lead_synth::generate_dataset;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = scale.synth_config();
+    let lead_cfg = scale.lead_config();
+    let rnn_cfg = SpRnnConfig::paper();
+
+    println!("Table III reproduction — scale `{}`", scale.name());
+    let t = Instant::now();
+    let ds = generate_dataset(&synth);
+    println!(
+        "dataset: {} train / {} val / {} test samples in {:.1}s",
+        ds.train.len(),
+        ds.val.len(),
+        ds.test.len(),
+        t.elapsed().as_secs_f64()
+    );
+
+    let mut outcomes = Vec::new();
+    for method in Method::table3() {
+        let t = Instant::now();
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        println!(
+            "{:<10} trained+evaluated in {:.1}s (excluded {} test samples)",
+            out.name,
+            t.elapsed().as_secs_f64(),
+            out.excluded_test_samples
+        );
+        outcomes.push(out);
+    }
+
+    let table = accuracy_table("Table III: Accuracy of Baselines and Ours (LEAD) on the Test Set", &outcomes);
+    let soft = iou_table(
+        "Soft accuracy: mean temporal IoU of detected vs true loaded intervals",
+        &outcomes,
+    );
+    println!("\n{table}\n{soft}");
+    write_result(&format!("table3_{}.txt", scale.name()), &table);
+    write_result(&format!("table3_{}.csv", scale.name()), &accuracy_csv(&outcomes));
+    write_result(&format!("iou_{}.txt", scale.name()), &soft);
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table IV**: accuracy of LEAD and its six ablation variants
+//! (`-NoPoi`, `-NoSel`, `-NoHie`, `-NoGro`, `-NoFor`, `-NoBac`) per
+//! stay-point bucket on the test split.
+//!
+//! Usage: `cargo run -p lead-bench --release --bin table4 [tiny|quick|full]`
+
+use lead_baselines::SpRnnConfig;
+use lead_bench::{write_result, Scale};
+use lead_eval::report::{accuracy_csv, accuracy_table};
+use lead_eval::{train_and_evaluate, Method};
+use lead_synth::generate_dataset;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let synth = scale.synth_config();
+    let lead_cfg = scale.lead_config();
+    let rnn_cfg = SpRnnConfig::paper();
+
+    println!("Table IV reproduction — scale `{}`", scale.name());
+    let ds = generate_dataset(&synth);
+    println!(
+        "dataset: {} train / {} val / {} test samples",
+        ds.train.len(),
+        ds.val.len(),
+        ds.test.len()
+    );
+
+    let mut outcomes = Vec::new();
+    for method in Method::table4() {
+        let t = Instant::now();
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        println!(
+            "{:<12} trained+evaluated in {:.1}s",
+            out.name,
+            t.elapsed().as_secs_f64()
+        );
+        outcomes.push(out);
+    }
+
+    let table = accuracy_table(
+        "Table IV: Accuracy of LEAD and LEAD-Variants on the Test Set",
+        &outcomes,
+    );
+    println!("\n{table}");
+    write_result(&format!("table4_{}.txt", scale.name()), &table);
+    write_result(&format!("table4_{}.csv", scale.name()), &accuracy_csv(&outcomes));
+}

@@ -1,0 +1,315 @@
+//! The forward/backward detector (Section V-B, Figure 7): a stacked BiLSTM
+//! over each subgroup, a shared 1-unit output layer, and a per-subgroup
+//! softmax (Equation (10)).
+//!
+//! One `GroupDetector` instance serves as the forward detector (fed forward
+//! subgroups) and another as the backward detector (fed backward subgroups);
+//! the two "share the same structure" but not parameters.
+
+use crate::config::LeadConfig;
+use lead_nn::layers::{Linear, StackedBiLstm};
+use lead_nn::optim::Adam;
+use lead_nn::train::{AccumTrainer, EarlyStopping};
+use lead_nn::{Graph, Matrix, ParamSet, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One training item: a group's subgroup c-vec lists paired with its flat
+/// ε-smoothed label distribution.
+pub type GroupItem = (Vec<Vec<Matrix>>, Matrix);
+
+/// A stacked-BiLSTM subgroup detector.
+pub struct GroupDetector {
+    params: ParamSet,
+    stack: StackedBiLstm,
+    out: Linear,
+}
+
+impl GroupDetector {
+    /// Builds an untrained detector over `c_vec_dim`-wide compressed vectors
+    /// with the configured `L` layers and 64 hidden units.
+    pub fn new<R: Rng>(config: &LeadConfig, c_vec_dim: usize, rng: &mut R) -> Self {
+        let mut ps = ParamSet::new();
+        let stack = StackedBiLstm::new(
+            &mut ps,
+            rng,
+            "det.stack",
+            c_vec_dim,
+            config.detector_hidden,
+            config.detector_layers,
+        );
+        let out = Linear::new(&mut ps, rng, "det.out", config.detector_hidden, 1);
+        Self { params: ps, stack, out }
+    }
+
+    /// Number of trainable scalars (diagnostics).
+    pub fn num_weights(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// The trainable parameters (persistence).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable access to the trainable parameters (persistence).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Records the detector on `g` over one group (list of subgroups, each a
+    /// list of c-vecs); returns the flat probability node (1 × m) over all
+    /// candidates, in subgroup-concatenation order.
+    ///
+    /// Each subgroup is processed by the stacked BiLSTM **independently**
+    /// (Equation (10)'s per-subgroup calculation, preserving the analogy
+    /// relationships), but the softmax is taken over the *concatenated*
+    /// logits of all subgroups rather than per subgroup. A literal
+    /// per-subgroup softmax degenerates for singleton subgroups — the last
+    /// forward subgroup `g_{n−1}` has one member whose probability would be
+    /// pinned at exactly 1.0, making it the unconditional argmax whenever a
+    /// single detector is used (the `LEAD-NoFor`/`-NoBac` ablations would be
+    /// meaningless). The global softmax keeps the output a proper
+    /// distribution matching the label distribution of Section V-C; see
+    /// DESIGN.md for the full rationale.
+    ///
+    /// # Panics
+    /// Panics if the group or any subgroup is empty.
+    pub fn forward_graph(&self, g: &mut Graph, subgroups: &[Vec<&Matrix>]) -> Var {
+        assert!(!subgroups.is_empty(), "empty group");
+        let mut logits = Vec::with_capacity(subgroups.len());
+        for sub in subgroups {
+            assert!(!sub.is_empty(), "empty subgroup");
+            let xs: Vec<Var> = sub.iter().map(|m| g.constant((*m).clone())).collect();
+            let hs = self.stack.forward(g, &xs);
+            let sub_logits: Vec<Var> = hs.iter().map(|&h| self.out.forward(g, h)).collect();
+            logits.push(g.concat_cols(&sub_logits));
+        }
+        let row = g.concat_cols(&logits);
+        g.softmax_rows(row)
+    }
+
+    /// The flat probability distribution over one group, as values.
+    pub fn probabilities(&self, subgroups: &[Vec<&Matrix>]) -> Vec<f32> {
+        let mut g = Graph::new(&self.params);
+        let p = self.forward_graph(&mut g, subgroups);
+        g.value(p).data().to_vec()
+    }
+
+    /// Trains against ε-smoothed labels with the KLD loss (Equations
+    /// (11)–(12)), returning the per-epoch mean training KLD curve
+    /// (Figure 10).
+    ///
+    /// Each training item pairs a group (subgroup c-vec lists) with its flat
+    /// label distribution (matching the group's flattening order).
+    pub fn train<R: Rng>(
+        &mut self,
+        items: &[GroupItem],
+        config: &LeadConfig,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        self.train_with_validation(items, None, config, rng).0
+    }
+
+    /// Like [`Self::train`], but additionally records the per-epoch
+    /// validation KLD when `val_items` is given. Early stopping observes the
+    /// training loss: at this dataset scale the validation split is too
+    /// small for its loss to be a reliable stopping signal (it is recorded
+    /// for reporting and diagnostics). Returns `(train_curve, val_curve)`.
+    pub fn train_with_validation<R: Rng>(
+        &mut self,
+        items: &[GroupItem],
+        val_items: Option<&[GroupItem]>,
+        config: &LeadConfig,
+        rng: &mut R,
+    ) -> (Vec<f32>, Vec<f32>) {
+        assert!(!items.is_empty(), "detector training needs samples");
+        let mut trainer = AccumTrainer::new(
+            Adam::new(&self.params, config.learning_rate)
+                .with_weight_decay(config.detector_weight_decay),
+            config.batch_accumulation,
+        )
+        .with_clip_norm(config.grad_clip_norm);
+        let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut train_curve = Vec::new();
+        let mut val_curve = Vec::new();
+        for _epoch in 0..config.detector_max_epochs {
+            order.shuffle(rng);
+            let mut total = 0.0f64;
+            for &i in &order {
+                let (group, label) = &items[i];
+                // Augmentation: jitter the frozen compressed vectors so the
+                // detector cannot memorise exact embeddings of the (small)
+                // training fleet.
+                let noisy: Vec<Vec<Matrix>> = if config.cvec_noise_std > 0.0 {
+                    group
+                        .iter()
+                        .map(|sub| {
+                            sub.iter()
+                                .map(|m| {
+                                    let mut out = m.clone();
+                                    for v in out.data_mut() {
+                                        *v += gauss(rng) * config.cvec_noise_std;
+                                    }
+                                    out
+                                })
+                                .collect()
+                        })
+                        .collect()
+                } else {
+                    group.clone()
+                };
+                let refs: Vec<Vec<&Matrix>> =
+                    noisy.iter().map(|sub| sub.iter().collect()).collect();
+                let mut g = Graph::new(&self.params);
+                let p = self.forward_graph(&mut g, &refs);
+                let loss = g.kld_loss(p, label);
+                total += g.scalar(loss) as f64;
+                let grads = g.backward(loss);
+                trainer.submit(&mut self.params, grads);
+            }
+            trainer.flush(&mut self.params);
+            let train_mean = (total / items.len() as f64) as f32;
+            train_curve.push(train_mean);
+            if let Some(v) = val_items {
+                if !v.is_empty() {
+                    val_curve.push(self.evaluate(v));
+                }
+            }
+            if stopper.observe(train_mean) {
+                break;
+            }
+        }
+        (train_curve, val_curve)
+    }
+
+    /// Mean KLD over `items` without training.
+    pub fn evaluate(&self, items: &[GroupItem]) -> f32 {
+        assert!(!items.is_empty(), "evaluation needs samples");
+        let mut total = 0.0f64;
+        for (group, label) in items {
+            let refs: Vec<Vec<&Matrix>> = group.iter().map(|sub| sub.iter().collect()).collect();
+            let mut g = Graph::new(&self.params);
+            let p = self.forward_graph(&mut g, &refs);
+            let loss = g.kld_loss(p, label);
+            total += g.scalar(loss) as f64;
+        }
+        (total / items.len() as f64) as f32
+    }
+}
+
+/// Standard normal sample (Box–Muller) for the c-vec augmentation.
+fn gauss<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::{build_groups, forward_flat_order, smoothed_label};
+    use crate::processing::Candidate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> LeadConfig {
+        LeadConfig::fast_test()
+    }
+
+    /// c-vecs keyed by candidate; deterministic pseudo-random contents with a
+    /// strong signature on the "true" candidate.
+    fn cvecs_for(n: usize, dim: usize, truth: Candidate) -> Vec<Vec<Matrix>> {
+        let groups = build_groups(n);
+        groups
+            .forward
+            .iter()
+            .map(|sub| {
+                sub.iter()
+                    .map(|c| {
+                        Matrix::from_fn(1, dim, |_, k| {
+                            let base = ((c.start_sp * 31 + c.end_sp * 17 + k) as f32 * 0.7).sin() * 0.3;
+                            if *c == truth && k < 4 {
+                                base + 0.9
+                            } else {
+                                base
+                            }
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_graph_emits_a_distribution_over_all_candidates() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(11);
+        let det = GroupDetector::new(&c, 8, &mut rng);
+        let groups = cvecs_for(5, 8, Candidate::new(0, 2));
+        let refs: Vec<Vec<&Matrix>> = groups.iter().map(|s| s.iter().collect()).collect();
+        let p = det.probabilities(&refs);
+        assert_eq!(p.len(), 10);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "distribution sum {s}");
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn singleton_subgroup_is_not_pinned_to_one() {
+        // The global softmax must not give the lone member of the last
+        // forward subgroup probability 1.0 (the per-subgroup degeneracy).
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(12);
+        let det = GroupDetector::new(&c, 8, &mut rng);
+        let groups = cvecs_for(4, 8, Candidate::new(0, 1));
+        let refs: Vec<Vec<&Matrix>> = groups.iter().map(|s| s.iter().collect()).collect();
+        let p = det.probabilities(&refs);
+        // Last entry corresponds to the singleton subgroup g_{n−1}.
+        assert!(*p.last().unwrap() < 0.99);
+    }
+
+    #[test]
+    fn training_reduces_kld_and_finds_truth() {
+        let mut c = cfg();
+        c.detector_max_epochs = 30;
+        c.learning_rate = 3e-3;
+        c.batch_accumulation = 4;
+        let mut rng = StdRng::seed_from_u64(13);
+        let dim = 8;
+        let n = 4;
+        let truth = Candidate::new(1, 3);
+        let mut det = GroupDetector::new(&c, dim, &mut rng);
+        // Several samples with the same signature pattern.
+        let items: Vec<(Vec<Vec<Matrix>>, Matrix)> = (0..6)
+            .map(|_| {
+                let groups = cvecs_for(n, dim, truth);
+                let label = smoothed_label(&forward_flat_order(n), truth, c.label_epsilon);
+                (groups, label)
+            })
+            .collect();
+        let curve = det.train(&items, &c, &mut rng);
+        assert!(curve.last().unwrap() < &curve[0], "curve {curve:?}");
+
+        let refs: Vec<Vec<&Matrix>> = items[0].0.iter().map(|s| s.iter().collect()).collect();
+        let p = det.probabilities(&refs);
+        let order = forward_flat_order(n);
+        let best = order[p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0];
+        assert_eq!(best, truth, "probs {p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_rejected() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(17);
+        let det = GroupDetector::new(&c, 4, &mut rng);
+        let _ = det.probabilities(&[]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Loaded trajectory detection (Section V): group generation, forward and
+//! backward stacked-BiLSTM detectors, label processing, and probability
+//! merging.
+
+mod detector;
+mod group;
+mod labels;
+mod mlp;
+
+pub use detector::GroupDetector;
+pub use group::{backward_flat_order, build_groups, forward_flat_order, Groups};
+pub use labels::smoothed_label;
+pub use mlp::MlpDetector;
+
+use crate::processing::Candidate;
+
+/// Merges the forward and backward detectors' probability distributions
+/// (Section V-B "Workflow"): probabilities of the same candidate are summed,
+/// then the result is min–max rescaled to `[0, 1]`.
+///
+/// `fwd` must follow [`forward_flat_order`], `bwd` must follow
+/// [`backward_flat_order`]; the returned vector follows the forward
+/// (canonical candidate) order.
+///
+/// # Panics
+/// Panics if the lengths disagree with `n(n−1)/2` for `n` stay points.
+pub fn merge_probabilities(n: usize, fwd: &[f32], bwd: &[f32]) -> Vec<f32> {
+    let m = n * (n - 1) / 2;
+    assert_eq!(fwd.len(), m, "forward distribution length");
+    assert_eq!(bwd.len(), m, "backward distribution length");
+    let fwd_order = forward_flat_order(n);
+    let bwd_order = backward_flat_order(n);
+    // Position of each candidate within the backward flattening.
+    let mut bwd_pos = std::collections::HashMap::with_capacity(m);
+    for (i, c) in bwd_order.iter().enumerate() {
+        bwd_pos.insert(*c, i);
+    }
+    let mut merged: Vec<f32> = fwd_order
+        .iter()
+        .enumerate()
+        .map(|(i, c)| fwd[i] + bwd[bwd_pos[c]])
+        .collect();
+    // Min–max rescale to [0, 1] (argmax-preserving).
+    let min = merged.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = merged.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = max - min;
+    if span > 0.0 {
+        for v in &mut merged {
+            *v = (*v - min) / span;
+        }
+    } else {
+        merged.fill(1.0);
+    }
+    merged
+}
+
+/// The candidate with the maximum merged probability (Equation (13)).
+///
+/// `probs` follows the forward canonical order for `n` stay points.
+pub fn argmax_candidate(n: usize, probs: &[f32]) -> Candidate {
+    assert_eq!(probs.len(), n * (n - 1) / 2, "distribution length");
+    let order = forward_flat_order(n);
+    let mut best = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > probs[best] {
+            best = i;
+        }
+    }
+    order[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_aligns_by_candidate_identity() {
+        let n = 3; // candidates fwd: (0,1),(0,2),(1,2); bwd: (0,1),(1,2),(0,2)
+        let fwd = [0.5, 0.3, 0.2];
+        let bwd = [0.1, 0.6, 0.3];
+        let merged = merge_probabilities(n, &fwd, &bwd);
+        // Raw sums in forward order: (0,1)=0.6, (0,2)=0.6, (1,2)=0.8.
+        // Min-max: (0.6-0.6)/0.2=0, 0, 1.
+        assert_eq!(merged.len(), 3);
+        assert!((merged[2] - 1.0).abs() < 1e-6);
+        assert!(merged[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn merged_range_is_unit_interval() {
+        let n = 5;
+        let m = n * (n - 1) / 2;
+        let fwd: Vec<f32> = (0..m).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let bwd: Vec<f32> = (0..m).map(|i| (i as f32 * 0.73).cos().abs()).collect();
+        let merged = merge_probabilities(n, &fwd, &bwd);
+        let min = merged.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = merged.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!((min - 0.0).abs() < 1e-6 && (max - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equal_probabilities_merge_to_ones() {
+        let merged = merge_probabilities(3, &[0.2; 3], &[0.2; 3]);
+        assert!(merged.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn argmax_candidate_selects_by_canonical_order() {
+        let probs = [0.1, 0.9, 0.3];
+        let c = argmax_candidate(3, &probs);
+        assert_eq!((c.start_sp, c.end_sp), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward distribution length")]
+    fn merge_rejects_wrong_lengths() {
+        let _ = merge_probabilities(4, &[0.0; 3], &[0.0; 6]);
+    }
+}

@@ -1,0 +1,423 @@
+//! The hierarchical autoencoder (Section IV-B, Figure 5).
+//!
+//! **Compressor** (two phases): phase 1 compresses each `sp-f-seq` and
+//! `mp-f-seq` with two dedicated operators; phase 2 compresses the resulting
+//! `SP-c-vec-seq` and `MP-c-vec-seq` with two more operators; the `c-vec` is
+//! the concatenation `[SP-c-vec | MP-c-vec]` (2 × 32 = 64 wide).
+//!
+//! **Decompressor** (symmetric): phase 1 expands each half of the `c-vec`
+//! back into per-stay/per-move vectors; phase 2 expands each of those into a
+//! feature sequence of the original length. Training minimises the MSE
+//! between the input feature sequences and their reconstructions
+//! (Equation (8)), self-supervised over the candidate trajectories of the
+//! historical archive.
+//!
+//! The `LEAD-NoHie` ablation ([`EncoderKind::Flat`]) removes both the
+//! stay/move separation and the hierarchy: a single operator pair processes
+//! the interleaved flat feature sequence. Its hidden width is doubled so the
+//! `c-vec` keeps the 64-dimensional budget — the comparison isolates the
+//! *structure*, not capacity.
+
+use crate::config::LeadConfig;
+use crate::features::{CandidateFeatures, TrajectoryFeatures, FEATURE_DIM};
+use crate::processing::Candidate;
+use lead_nn::optim::Adam;
+use lead_nn::train::{AccumTrainer, EarlyStopping};
+use lead_nn::{Graph, Matrix, ParamSet, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which encoder architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// The paper's hierarchical, stay/move-separated autoencoder.
+    Hierarchical,
+    /// The `LEAD-NoHie` ablation: one flat operator pair.
+    Flat,
+}
+
+use super::operator::{CompressionOperator, DecompressionOperator};
+
+// The flat variant is rare (one ablation) and the enum is instantiated once
+// per model, so the size difference between variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Arch {
+    Hierarchical {
+        comp_sp1: CompressionOperator,
+        comp_mp1: CompressionOperator,
+        comp_sp2: CompressionOperator,
+        comp_mp2: CompressionOperator,
+        dec_sp1: DecompressionOperator,
+        dec_mp1: DecompressionOperator,
+        dec_sp2: DecompressionOperator,
+        dec_mp2: DecompressionOperator,
+    },
+    Flat {
+        comp: CompressionOperator,
+        dec: DecompressionOperator,
+    },
+}
+
+/// The candidate-trajectory autoencoder; after training, its compressor maps
+/// any candidate to a `c-vec`.
+pub struct Autoencoder {
+    params: ParamSet,
+    arch: Arch,
+    hidden: usize,
+}
+
+impl Autoencoder {
+    /// Builds an untrained autoencoder.
+    ///
+    /// `use_attention = false` reproduces `LEAD-NoSel`.
+    pub fn new<R: Rng>(config: &LeadConfig, kind: EncoderKind, use_attention: bool, rng: &mut R) -> Self {
+        let h = config.ae_hidden;
+        let mut ps = ParamSet::new();
+        let arch = match kind {
+            EncoderKind::Hierarchical => Arch::Hierarchical {
+                comp_sp1: CompressionOperator::new(&mut ps, rng, "ae.comp_sp1", FEATURE_DIM, h, use_attention),
+                comp_mp1: CompressionOperator::new(&mut ps, rng, "ae.comp_mp1", FEATURE_DIM, h, use_attention),
+                comp_sp2: CompressionOperator::new(&mut ps, rng, "ae.comp_sp2", h, h, use_attention),
+                comp_mp2: CompressionOperator::new(&mut ps, rng, "ae.comp_mp2", h, h, use_attention),
+                dec_sp1: DecompressionOperator::new(&mut ps, rng, "ae.dec_sp1", h, h, h),
+                dec_mp1: DecompressionOperator::new(&mut ps, rng, "ae.dec_mp1", h, h, h),
+                dec_sp2: DecompressionOperator::new(&mut ps, rng, "ae.dec_sp2", h, h, FEATURE_DIM),
+                dec_mp2: DecompressionOperator::new(&mut ps, rng, "ae.dec_mp2", h, h, FEATURE_DIM),
+            },
+            EncoderKind::Flat => Arch::Flat {
+                comp: CompressionOperator::new(&mut ps, rng, "ae.comp", FEATURE_DIM, 2 * h, use_attention),
+                dec: DecompressionOperator::new(&mut ps, rng, "ae.dec", 2 * h, 2 * h, FEATURE_DIM),
+            },
+        };
+        Self {
+            params: ps,
+            arch,
+            hidden: h,
+        }
+    }
+
+    /// Width of the compressed vector (64 at paper settings, for both kinds).
+    pub fn c_vec_dim(&self) -> usize {
+        2 * self.hidden
+    }
+
+    /// The architecture kind.
+    pub fn kind(&self) -> EncoderKind {
+        match self.arch {
+            Arch::Hierarchical { .. } => EncoderKind::Hierarchical,
+            Arch::Flat { .. } => EncoderKind::Flat,
+        }
+    }
+
+    /// Number of trainable scalars (diagnostics).
+    pub fn num_weights(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// The trainable parameters (persistence).
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable access to the trainable parameters (persistence: load trained
+    /// weights into a freshly constructed architecture).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    /// Records the compressor on `g`, returning the 1×c_vec node of `input`.
+    pub fn encode(&self, g: &mut Graph, input: &CandidateFeatures) -> Var {
+        input.validate();
+        match &self.arch {
+            Arch::Hierarchical {
+                comp_sp1,
+                comp_mp1,
+                comp_sp2,
+                comp_mp2,
+                ..
+            } => {
+                let sp_vecs: Vec<Var> = input
+                    .sp_seqs
+                    .iter()
+                    .map(|m| comp_sp1.compress_matrix(g, m))
+                    .collect();
+                let mp_vecs: Vec<Var> = input
+                    .mp_seqs
+                    .iter()
+                    .map(|m| comp_mp1.compress_matrix(g, m))
+                    .collect();
+                let sp_c = comp_sp2.compress_vars(g, &sp_vecs);
+                let mp_c = comp_mp2.compress_vars(g, &mp_vecs);
+                g.concat_cols(&[sp_c, mp_c])
+            }
+            Arch::Flat { comp, .. } => comp.compress_matrix(g, &input.interleaved()),
+        }
+    }
+
+    /// Records compressor + decompressor + MSE reconstruction loss on `g`.
+    pub fn reconstruction_loss(&self, g: &mut Graph, input: &CandidateFeatures) -> Var {
+        let c_vec = self.encode(g, input);
+        match &self.arch {
+            Arch::Hierarchical {
+                dec_sp1,
+                dec_mp1,
+                dec_sp2,
+                dec_mp2,
+                ..
+            } => {
+                let h = self.hidden;
+                let v_sp = g.slice_cols(c_vec, 0, h);
+                let v_mp = g.slice_cols(c_vec, h, 2 * h);
+                // Phase 1: c-vec halves → per-stay / per-move vectors.
+                let sp_cvec_seq = dec_sp1.decompress(g, v_sp, input.sp_seqs.len());
+                let mp_cvec_seq = dec_mp1.decompress(g, v_mp, input.mp_seqs.len());
+                // Phase 2: each vector → its feature sequence.
+                let mut recs: Vec<Var> = Vec::with_capacity(input.sp_seqs.len() + input.mp_seqs.len());
+                for (k, target) in input.sp_seqs.iter().enumerate() {
+                    let v = g.row(sp_cvec_seq, k);
+                    recs.push(dec_sp2.decompress(g, v, target.rows()));
+                }
+                for (k, target) in input.mp_seqs.iter().enumerate() {
+                    let v = g.row(mp_cvec_seq, k);
+                    recs.push(dec_mp2.decompress(g, v, target.rows()));
+                }
+                let rec_all = g.concat_rows(&recs);
+                let target_refs: Vec<&Matrix> =
+                    input.sp_seqs.iter().chain(input.mp_seqs.iter()).collect();
+                let target_all = Matrix::concat_rows(&target_refs);
+                g.mse_loss(rec_all, &target_all)
+            }
+            Arch::Flat { dec, .. } => {
+                let target = input.interleaved();
+                let rec = dec.decompress(g, c_vec, target.rows());
+                g.mse_loss(rec, &target)
+            }
+        }
+    }
+
+    /// Trains the autoencoder self-supervised on the given candidate feature
+    /// sequences (pre-shuffled order is re-shuffled each epoch), returning
+    /// the per-epoch mean MSE curve (Figure 9).
+    pub fn train<R: Rng>(
+        &mut self,
+        samples: &[CandidateFeatures],
+        config: &LeadConfig,
+        rng: &mut R,
+    ) -> Vec<f32> {
+        self.train_with_validation(samples, None, config, rng).0
+    }
+
+    /// Like [`Self::train`], but additionally records the per-epoch
+    /// validation MSE when `val_samples` is given (reporting only; early
+    /// stopping observes the training loss). Returns
+    /// `(train_curve, val_curve)`.
+    pub fn train_with_validation<R: Rng>(
+        &mut self,
+        samples: &[CandidateFeatures],
+        val_samples: Option<&[CandidateFeatures]>,
+        config: &LeadConfig,
+        rng: &mut R,
+    ) -> (Vec<f32>, Vec<f32>) {
+        assert!(!samples.is_empty(), "autoencoder training needs samples");
+        let mut trainer = AccumTrainer::new(
+            Adam::new(&self.params, config.learning_rate),
+            config.batch_accumulation,
+        )
+        .with_clip_norm(config.grad_clip_norm);
+        let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut train_curve = Vec::new();
+        let mut val_curve = Vec::new();
+        for _epoch in 0..config.ae_max_epochs {
+            order.shuffle(rng);
+            let mut total = 0.0f64;
+            for &i in &order {
+                let mut g = Graph::new(&self.params);
+                let loss = self.reconstruction_loss(&mut g, &samples[i]);
+                total += g.scalar(loss) as f64;
+                let grads = g.backward(loss);
+                trainer.submit(&mut self.params, grads);
+            }
+            trainer.flush(&mut self.params);
+            let train_mean = (total / samples.len() as f64) as f32;
+            train_curve.push(train_mean);
+            if let Some(v) = val_samples {
+                if !v.is_empty() {
+                    val_curve.push(self.evaluate(v));
+                }
+            }
+            if stopper.observe(train_mean) {
+                break;
+            }
+        }
+        (train_curve, val_curve)
+    }
+
+    /// Computes the loss of every sample without training (validation).
+    pub fn evaluate(&self, samples: &[CandidateFeatures]) -> f32 {
+        assert!(!samples.is_empty(), "evaluation needs samples");
+        let mut total = 0.0f64;
+        for s in samples {
+            let mut g = Graph::new(&self.params);
+            let loss = self.reconstruction_loss(&mut g, s);
+            total += g.scalar(loss) as f64;
+        }
+        (total / samples.len() as f64) as f32
+    }
+
+    /// Encodes a single candidate into its `c-vec` value (no gradients kept).
+    pub fn encode_value(&self, input: &CandidateFeatures) -> Matrix {
+        let mut g = Graph::new(&self.params);
+        let v = self.encode(&mut g, input);
+        g.value(v).clone()
+    }
+
+    /// Encodes every candidate of a trajectory, sharing the phase-1
+    /// compression of each stay/move point across candidates.
+    ///
+    /// The hierarchy makes this exact: a candidate's `c-vec` depends on its
+    /// stay/move points only through their phase-1 vectors, which are
+    /// identical across candidates. The flat variant has no such structure
+    /// and falls back to per-candidate encoding.
+    pub fn encode_all(&self, tf: &TrajectoryFeatures, candidates: &[Candidate]) -> Vec<Matrix> {
+        match &self.arch {
+            Arch::Hierarchical {
+                comp_sp1,
+                comp_mp1,
+                comp_sp2,
+                comp_mp2,
+                ..
+            } => {
+                let mut g = Graph::new(&self.params);
+                let sp_vecs: Vec<Var> = tf
+                    .sp_seqs
+                    .iter()
+                    .map(|m| comp_sp1.compress_matrix(&mut g, m))
+                    .collect();
+                let mp_vecs: Vec<Var> = tf
+                    .mp_seqs
+                    .iter()
+                    .map(|m| comp_mp1.compress_matrix(&mut g, m))
+                    .collect();
+                candidates
+                    .iter()
+                    .map(|c| {
+                        let sp_c = comp_sp2.compress_vars(&mut g, &sp_vecs[c.start_sp..=c.end_sp]);
+                        let mp_c = comp_mp2.compress_vars(&mut g, &mp_vecs[c.start_sp..c.end_sp]);
+                        let v = g.concat_cols(&[sp_c, mp_c]);
+                        g.value(v).clone()
+                    })
+                    .collect()
+            }
+            Arch::Flat { .. } => candidates
+                .iter()
+                .map(|&c| self.encode_value(&tf.candidate(c)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_candidate(seed: u64, n_sp: usize) -> CandidateFeatures {
+        let mut v = seed as f32 * 0.01;
+        let mut next = || {
+            v = (v * 1.7 + 0.31).sin() * 0.8;
+            v
+        };
+        let sp_seqs = (0..n_sp)
+            .map(|_| Matrix::from_fn(4, FEATURE_DIM, |_, _| next()))
+            .collect();
+        let mp_seqs = (0..n_sp - 1)
+            .map(|_| Matrix::from_fn(3, FEATURE_DIM, |_, _| next()))
+            .collect();
+        CandidateFeatures { sp_seqs, mp_seqs }
+    }
+
+    fn small_cfg() -> LeadConfig {
+        LeadConfig::fast_test()
+    }
+
+    #[test]
+    fn encode_shapes_for_both_kinds() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [EncoderKind::Hierarchical, EncoderKind::Flat] {
+            let ae = Autoencoder::new(&cfg, kind, true, &mut rng);
+            assert_eq!(ae.kind(), kind);
+            let c = ae.encode_value(&toy_candidate(3, 3));
+            assert_eq!(c.shape(), (1, ae.c_vec_dim()));
+            assert_eq!(ae.c_vec_dim(), 2 * cfg.ae_hidden);
+            assert!(c.data().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn reconstruction_loss_is_finite_and_positive() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ae = Autoencoder::new(&cfg, EncoderKind::Hierarchical, true, &mut rng);
+        let mut g = Graph::new(&ae.params);
+        let loss = ae.reconstruction_loss(&mut g, &toy_candidate(5, 4));
+        let l = g.scalar(loss);
+        assert!(l.is_finite() && l > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let mut cfg = small_cfg();
+        cfg.ae_max_epochs = 8;
+        cfg.learning_rate = 3e-3;
+        cfg.batch_accumulation = 4;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ae = Autoencoder::new(&cfg, EncoderKind::Hierarchical, true, &mut rng);
+        let samples: Vec<CandidateFeatures> = (0..8).map(|s| toy_candidate(s, 2)).collect();
+        let curve = ae.train(&samples, &cfg, &mut rng);
+        assert!(curve.len() >= 2);
+        let first = curve[0];
+        let last = *curve.last().unwrap();
+        assert!(last < first, "loss should fall: {curve:?}");
+    }
+
+    #[test]
+    fn encode_all_matches_per_candidate_encoding() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(4);
+        let ae = Autoencoder::new(&cfg, EncoderKind::Hierarchical, true, &mut rng);
+        let cf = toy_candidate(7, 4);
+        let tf = TrajectoryFeatures {
+            sp_seqs: cf.sp_seqs.clone(),
+            mp_seqs: cf.mp_seqs.clone(),
+        };
+        let candidates = crate::processing::enumerate_candidates(4);
+        let cached = ae.encode_all(&tf, &candidates);
+        for (c, cv) in candidates.iter().zip(cached.iter()) {
+            let direct = ae.encode_value(&tf.candidate(*c));
+            for (a, b) in cv.data().iter().zip(direct.data().iter()) {
+                assert!((a - b).abs() < 1e-5, "cache mismatch for {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_kind_keeps_c_vec_width() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ae = Autoencoder::new(&cfg, EncoderKind::Flat, false, &mut rng);
+        let c = ae.encode_value(&toy_candidate(9, 2));
+        assert_eq!(c.cols(), 2 * cfg.ae_hidden);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let cfg = small_cfg();
+        let mut rng = StdRng::seed_from_u64(6);
+        let ae = Autoencoder::new(&cfg, EncoderKind::Hierarchical, true, &mut rng);
+        let samples = vec![toy_candidate(1, 3), toy_candidate(2, 2)];
+        assert_eq!(ae.evaluate(&samples), ae.evaluate(&samples));
+    }
+}

@@ -1,0 +1,8 @@
+//! Candidate trajectory encoding (Section IV): compression/decompression
+//! operators and the hierarchical autoencoder.
+
+mod autoencoder;
+mod operator;
+
+pub use autoencoder::{Autoencoder, EncoderKind};
+pub use operator::{CompressionOperator, DecompressionOperator};

@@ -1,0 +1,163 @@
+//! Ground-truth labels: the archived loaded trajectory of a raw trajectory,
+//! and its projection onto extracted stay points.
+
+use crate::processing::ProcessedTrajectory;
+
+/// Ground truth for one raw trajectory: when the truck actually loaded and
+/// unloaded, in the trajectory's time base (seconds).
+///
+/// This is the machine form of the paper's "archived loaded trajectory": the
+/// loaded trajectory spans from the start of the loading stay to the end of
+/// the unloading stay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthLabel {
+    /// Arrival at the loading site.
+    pub load_start_s: i64,
+    /// Departure from the loading site.
+    pub load_end_s: i64,
+    /// Arrival at the unloading site.
+    pub unload_start_s: i64,
+    /// Departure from the unloading site.
+    pub unload_end_s: i64,
+}
+
+impl TruthLabel {
+    /// Validates interval ordering.
+    ///
+    /// # Panics
+    /// Panics unless `load_start < load_end < unload_start < unload_end`.
+    pub fn validate(&self) {
+        assert!(
+            self.load_start_s < self.load_end_s
+                && self.load_end_s < self.unload_start_s
+                && self.unload_start_s < self.unload_end_s,
+            "truth intervals out of order: {self:?}"
+        );
+    }
+}
+
+/// Maps a [`TruthLabel`] onto the extracted stay points of a processed
+/// trajectory: the loading stay point is the one whose time span overlaps the
+/// loading interval the most (likewise for unloading).
+///
+/// Returns `None` when either interval overlaps no stay point, or both map to
+/// the same stay point — in which case the sample has no well-defined loaded
+/// candidate and is excluded from training/evaluation (mirroring the paper's
+/// reliance on employee-verified labels).
+pub fn truth_stay_indices(
+    proc: &ProcessedTrajectory,
+    truth: &TruthLabel,
+) -> Option<(usize, usize)> {
+    let load = best_overlap(proc, truth.load_start_s, truth.load_end_s)?;
+    let unload = best_overlap(proc, truth.unload_start_s, truth.unload_end_s)?;
+    if load < unload {
+        Some((load, unload))
+    } else {
+        None
+    }
+}
+
+/// Index of the stay point with maximal positive time overlap with `[a, b]`.
+fn best_overlap(proc: &ProcessedTrajectory, a: i64, b: i64) -> Option<usize> {
+    let pts = proc.cleaned.points();
+    let mut best: Option<(usize, i64)> = None;
+    for (idx, sp) in proc.stay_points.iter().enumerate() {
+        let s = pts[sp.start].t;
+        let e = pts[sp.end].t;
+        let overlap = e.min(b) - s.max(a);
+        if overlap > 0 {
+            match best {
+                Some((_, bo)) if bo >= overlap => {}
+                _ => best = Some((idx, overlap)),
+            }
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LeadConfig;
+    use lead_geo::{GpsPoint, Trajectory};
+
+    /// Three dwells at minutes [0,18], [30,48], [60,78], 5 km apart.
+    fn three_stay_processed() -> ProcessedTrajectory {
+        let mut pts = Vec::new();
+        for block in 0..3 {
+            let x0 = block as f64 * 0.05;
+            let t0 = block as i64 * 1800;
+            for k in 0..10 {
+                pts.push(GpsPoint::new(32.0, 120.9 + x0, t0 + k * 120));
+            }
+            // Two transit samples.
+            pts.push(GpsPoint::new(32.0, 120.9 + x0 + 0.02, t0 + 1200));
+            pts.push(GpsPoint::new(32.0, 120.9 + x0 + 0.04, t0 + 1320));
+        }
+        ProcessedTrajectory::from_raw(&Trajectory::new(pts), &LeadConfig::paper())
+    }
+
+    #[test]
+    fn maps_truth_to_the_overlapping_stays() {
+        let proc = three_stay_processed();
+        assert_eq!(proc.num_stay_points(), 3);
+        let truth = TruthLabel {
+            load_start_s: 0,
+            load_end_s: 1_080,
+            unload_start_s: 3_600,
+            unload_end_s: 4_680,
+        };
+        truth.validate();
+        assert_eq!(truth_stay_indices(&proc, &truth), Some((0, 2)));
+    }
+
+    #[test]
+    fn partial_overlap_still_maps() {
+        let proc = three_stay_processed();
+        // Truth intervals clipped to the second half of each dwell.
+        let truth = TruthLabel {
+            load_start_s: 600,
+            load_end_s: 1_080,
+            unload_start_s: 2_300,
+            unload_end_s: 2_800,
+        };
+        assert_eq!(truth_stay_indices(&proc, &truth), Some((0, 1)));
+    }
+
+    #[test]
+    fn no_overlap_returns_none() {
+        let proc = three_stay_processed();
+        let truth = TruthLabel {
+            load_start_s: 100_000,
+            load_end_s: 101_000,
+            unload_start_s: 102_000,
+            unload_end_s: 103_000,
+        };
+        assert_eq!(truth_stay_indices(&proc, &truth), None);
+    }
+
+    #[test]
+    fn same_stay_for_both_returns_none() {
+        let proc = three_stay_processed();
+        // Both intervals inside the first dwell.
+        let truth = TruthLabel {
+            load_start_s: 0,
+            load_end_s: 500,
+            unload_start_s: 600,
+            unload_end_s: 1_000,
+        };
+        assert_eq!(truth_stay_indices(&proc, &truth), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn invalid_truth_rejected() {
+        TruthLabel {
+            load_start_s: 10,
+            load_end_s: 5,
+            unload_start_s: 20,
+            unload_end_s: 30,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,370 @@
+//! Persistence of trained LEAD models.
+//!
+//! The offline stage runs once over the historical archive; the online stage
+//! serves detections indefinitely. [`Lead::save`]/[`Lead::load`] round-trip a
+//! trained model through a line-oriented text file: the architecture switches
+//! and processing thresholds (needed to rebuild the exact network and
+//! reproduce processing), the feature normaliser, and every trained weight
+//! (bit-exact, via [`lead_nn::io`]).
+
+use crate::config::LeadConfig;
+use crate::features::Normalizer;
+use crate::pipeline::{DetectorChoice, Lead, LeadOptions};
+use lead_nn::io::{read_params, write_params, ReadError};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors produced while loading a model.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid model file.
+    Format(String),
+    /// A weight section does not match the rebuilt architecture.
+    Params(ReadError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Format(m) => write!(f, "format error: {m}"),
+            LoadError::Params(e) => write!(f, "weight section error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<ReadError> for LoadError {
+    fn from(e: ReadError) -> Self {
+        LoadError::Params(e)
+    }
+}
+
+fn detector_tag(choice: DetectorChoice) -> &'static str {
+    match choice {
+        DetectorChoice::Both => "both",
+        DetectorChoice::ForwardOnly => "forward",
+        DetectorChoice::BackwardOnly => "backward",
+        DetectorChoice::Mlp => "mlp",
+    }
+}
+
+fn parse_detector(tag: &str) -> Result<DetectorChoice, LoadError> {
+    Ok(match tag {
+        "both" => DetectorChoice::Both,
+        "forward" => DetectorChoice::ForwardOnly,
+        "backward" => DetectorChoice::BackwardOnly,
+        "mlp" => DetectorChoice::Mlp,
+        other => return Err(LoadError::Format(format!("unknown detector `{other}`"))),
+    })
+}
+
+fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hex_f64(tok: &str) -> Result<f64, LoadError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|e| LoadError::Format(format!("bad f64 `{tok}`: {e}")))
+}
+
+fn hex_row(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{:08x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_hex_row(line: &str) -> Result<Vec<f32>, LoadError> {
+    line.split_whitespace()
+        .map(|tok| {
+            u32::from_str_radix(tok, 16)
+                .map(f32::from_bits)
+                .map_err(|e| LoadError::Format(format!("bad f32 `{tok}`: {e}")))
+        })
+        .collect()
+}
+
+impl Lead {
+    /// Writes the trained model to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let config = self.config();
+        let options = self.options();
+        writeln!(w, "lead-model v1")?;
+        writeln!(
+            w,
+            "options {} {} {} {}",
+            options.use_poi, options.use_attention, options.hierarchical,
+            detector_tag(options.detector)
+        )?;
+        writeln!(
+            w,
+            "config {} {} {} {} {} {} {} {}",
+            hex_f64(config.v_max_kmh),
+            hex_f64(config.d_max_m),
+            config.t_min_s,
+            hex_f64(config.poi_radius_m),
+            config.ae_hidden,
+            config.detector_hidden,
+            config.detector_layers,
+            config.seed,
+        )?;
+        let n = self.normalizer_ref();
+        writeln!(w, "normalizer {}", n.dim())?;
+        writeln!(w, "{}", hex_row(n.mean()))?;
+        writeln!(w, "{}", hex_row(n.std()))?;
+        writeln!(w, "section autoencoder")?;
+        write_params(self.autoencoder_ref().params(), w)?;
+        if let Some(det) = self.forward_det_ref() {
+            writeln!(w, "section forward_detector")?;
+            write_params(det.params(), w)?;
+        }
+        if let Some(det) = self.backward_det_ref() {
+            writeln!(w, "section backward_detector")?;
+            write_params(det.params(), w)?;
+        }
+        if let Some(det) = self.mlp_ref() {
+            writeln!(w, "section mlp_detector")?;
+            write_params(det.params(), w)?;
+        }
+        writeln!(w, "end-model")?;
+        Ok(())
+    }
+
+    /// Saves the trained model to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut file)
+    }
+
+    /// Reads a model written by [`Self::write_to`].
+    pub fn read_from<R: BufRead>(r: &mut R) -> Result<Lead, LoadError> {
+        let mut line = String::new();
+        let mut next_line = |r: &mut R| -> Result<String, LoadError> {
+            line.clear();
+            if r.read_line(&mut line)? == 0 {
+                return Err(LoadError::Format("unexpected end of file".into()));
+            }
+            Ok(line.trim().to_string())
+        };
+
+        if next_line(r)? != "lead-model v1" {
+            return Err(LoadError::Format("not a lead-model v1 file".into()));
+        }
+
+        // options
+        let opt_line = next_line(r)?;
+        let toks: Vec<&str> = opt_line.split_whitespace().collect();
+        if toks.len() != 5 || toks[0] != "options" {
+            return Err(LoadError::Format(format!("bad options line `{opt_line}`")));
+        }
+        let parse_bool = |t: &str| -> Result<bool, LoadError> {
+            t.parse()
+                .map_err(|_| LoadError::Format(format!("bad bool `{t}`")))
+        };
+        let options = LeadOptions {
+            use_poi: parse_bool(toks[1])?,
+            use_attention: parse_bool(toks[2])?,
+            hierarchical: parse_bool(toks[3])?,
+            detector: parse_detector(toks[4])?,
+        };
+
+        // config
+        let cfg_line = next_line(r)?;
+        let toks: Vec<&str> = cfg_line.split_whitespace().collect();
+        if toks.len() != 9 || toks[0] != "config" {
+            return Err(LoadError::Format(format!("bad config line `{cfg_line}`")));
+        }
+        let parse_usize = |t: &str| -> Result<usize, LoadError> {
+            t.parse()
+                .map_err(|_| LoadError::Format(format!("bad integer `{t}`")))
+        };
+        let mut config = LeadConfig::paper();
+        config.v_max_kmh = parse_hex_f64(toks[1])?;
+        config.d_max_m = parse_hex_f64(toks[2])?;
+        config.t_min_s = toks[3]
+            .parse()
+            .map_err(|_| LoadError::Format(format!("bad t_min `{}`", toks[3])))?;
+        config.poi_radius_m = parse_hex_f64(toks[4])?;
+        config.ae_hidden = parse_usize(toks[5])?;
+        config.detector_hidden = parse_usize(toks[6])?;
+        config.detector_layers = parse_usize(toks[7])?;
+        config.seed = toks[8]
+            .parse()
+            .map_err(|_| LoadError::Format(format!("bad seed `{}`", toks[8])))?;
+
+        // normaliser
+        let n_line = next_line(r)?;
+        let toks: Vec<&str> = n_line.split_whitespace().collect();
+        if toks.len() != 2 || toks[0] != "normalizer" {
+            return Err(LoadError::Format(format!("bad normalizer line `{n_line}`")));
+        }
+        let dim = parse_usize(toks[1])?;
+        let mean = parse_hex_row(&next_line(r)?)?;
+        let std = parse_hex_row(&next_line(r)?)?;
+        if mean.len() != dim || std.len() != dim {
+            return Err(LoadError::Format("normalizer width mismatch".into()));
+        }
+        let normalizer = Normalizer::from_parts(mean, std);
+
+        // Rebuild the architecture, then fill weights section by section.
+        let mut lead = Lead::new_untrained(&config, options, normalizer);
+        loop {
+            let section = next_line(r)?;
+            if section == "end-model" {
+                break;
+            }
+            let Some(name) = section.strip_prefix("section ") else {
+                return Err(LoadError::Format(format!("expected section, got `{section}`")));
+            };
+            match name {
+                "autoencoder" => read_params(lead.autoencoder_mut().params_mut(), r)?,
+                "forward_detector" => {
+                    let det = lead.forward_det_mut().ok_or_else(|| {
+                        LoadError::Format("forward detector section without forward detector".into())
+                    })?;
+                    read_params(det.params_mut(), r)?;
+                }
+                "backward_detector" => {
+                    let det = lead.backward_det_mut().ok_or_else(|| {
+                        LoadError::Format("backward detector section without backward detector".into())
+                    })?;
+                    read_params(det.params_mut(), r)?;
+                }
+                "mlp_detector" => {
+                    let det = lead.mlp_mut().ok_or_else(|| {
+                        LoadError::Format("mlp section without mlp detector".into())
+                    })?;
+                    read_params(det.params_mut(), r)?;
+                }
+                other => return Err(LoadError::Format(format!("unknown section `{other}`"))),
+            }
+        }
+        Ok(lead)
+    }
+
+    /// Loads a model saved with [`Self::save`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Lead, LoadError> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::TruthLabel;
+    use crate::pipeline::TrainSample;
+    use crate::poi::{Poi, PoiCategory, PoiDatabase};
+    use lead_geo::distance::meters_to_lng_deg;
+    use lead_geo::{GpsPoint, Trajectory};
+
+    /// A minimal trainable world (mirrors the baselines' test fixture).
+    fn tiny_world() -> (Vec<TrainSample>, PoiDatabase) {
+        let per_km = meters_to_lng_deg(1_000.0, 32.0);
+        let mk_raw = |offset: f64| {
+            let mut pts = Vec::new();
+            let mut t = 0;
+            for block in 0..3 {
+                let lng = 120.9 + offset + block as f64 * 5.0 * per_km;
+                for _ in 0..10 {
+                    pts.push(GpsPoint::new(32.0, lng, t));
+                    t += 120;
+                }
+                for k in 1..=3 {
+                    pts.push(GpsPoint::new(32.0, lng + k as f64 * 1.25 * per_km, t));
+                    t += 120;
+                }
+            }
+            Trajectory::new(pts)
+        };
+        let truth = TruthLabel {
+            load_start_s: 0,
+            load_end_s: 1_080,
+            unload_start_s: 1_560,
+            unload_end_s: 2_640,
+        };
+        let samples = (0..3)
+            .map(|i| TrainSample {
+                raw: mk_raw(i as f64 * 0.0001),
+                truth,
+            })
+            .collect();
+        let pois = vec![
+            Poi { lat: 32.0, lng: 120.9, category: PoiCategory::ChemicalFactory },
+            Poi { lat: 32.0, lng: 120.9 + 5.0 * per_km, category: PoiCategory::Factory },
+            Poi { lat: 32.0, lng: 120.9 + 10.0 * per_km, category: PoiCategory::Restaurant },
+        ];
+        (samples, PoiDatabase::new(pois))
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_detections() {
+        let (samples, db) = tiny_world();
+        let cfg = LeadConfig::fast_test();
+        for options in [LeadOptions::full(), LeadOptions::no_gro(), LeadOptions::no_bac()] {
+            let (lead, _) = Lead::fit(&samples, &db, &cfg, options);
+            let mut buf = Vec::new();
+            lead.write_to(&mut buf).unwrap();
+            let loaded = Lead::read_from(&mut buf.as_slice()).unwrap();
+            assert_eq!(loaded.options(), options);
+            for s in &samples {
+                let a = lead.detect(&s.raw, &db);
+                let b = loaded.detect(&s.raw, &db);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.detected, b.detected, "{}", options.name());
+                        assert_eq!(a.probabilities, b.probabilities);
+                    }
+                    (None, None) => {}
+                    _ => panic!("detectability changed after reload ({})", options.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let (samples, db) = tiny_world();
+        let cfg = LeadConfig::fast_test();
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full());
+        let path = std::env::temp_dir().join(format!("lead-model-{}.lead", std::process::id()));
+        lead.save(&path).unwrap();
+        let loaded = Lead::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let a = lead.detect(&samples[0].raw, &db).map(|r| r.detected);
+        let b = loaded.detect(&samples[0].raw, &db).map(|r| r.detected);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupted_file_is_rejected() {
+        match Lead::read_from(&mut "garbage\n".as_bytes()) {
+            Err(LoadError::Format(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("garbage accepted"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let (samples, db) = tiny_world();
+        let cfg = LeadConfig::fast_test();
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full());
+        let mut buf = Vec::new();
+        lead.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Lead::read_from(&mut buf.as_slice()).is_err());
+    }
+}

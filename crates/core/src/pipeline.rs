@@ -1,0 +1,661 @@
+//! The end-to-end LEAD framework: offline training ([`Lead::fit`]) and online
+//! detection ([`Lead::detect`]), plus the ablation-variant switchboard
+//! ([`LeadOptions`]).
+
+use crate::config::LeadConfig;
+use crate::detection::{
+    argmax_candidate, backward_flat_order, build_groups, forward_flat_order, merge_probabilities,
+    smoothed_label, GroupDetector, MlpDetector,
+};
+use crate::encoding::{Autoencoder, EncoderKind};
+use crate::features::{FeatureExtractor, Normalizer, TrajectoryFeatures};
+use crate::label::{truth_stay_indices, TruthLabel};
+use crate::poi::PoiDatabase;
+use crate::processing::{Candidate, ProcessedTrajectory};
+use lead_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which detector(s) score the candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorChoice {
+    /// Forward + backward detectors, merged (full LEAD).
+    Both,
+    /// Forward detector only (`LEAD-NoBac`).
+    ForwardOnly,
+    /// Backward detector only (`LEAD-NoFor`).
+    BackwardOnly,
+    /// Per-candidate MLP, no grouping (`LEAD-NoGro`).
+    Mlp,
+}
+
+/// The variant switchboard of Section VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeadOptions {
+    /// `false` → `LEAD-NoPoi`: POI features replaced by zero padding.
+    pub use_poi: bool,
+    /// `false` → `LEAD-NoSel`: last hidden state instead of self-attention.
+    pub use_attention: bool,
+    /// `false` → `LEAD-NoHie`: one flat operator pair in the autoencoder.
+    pub hierarchical: bool,
+    /// Detector configuration.
+    pub detector: DetectorChoice,
+}
+
+impl LeadOptions {
+    /// Full LEAD.
+    pub fn full() -> Self {
+        Self {
+            use_poi: true,
+            use_attention: true,
+            hierarchical: true,
+            detector: DetectorChoice::Both,
+        }
+    }
+
+    /// `LEAD-NoPoi`.
+    pub fn no_poi() -> Self {
+        Self { use_poi: false, ..Self::full() }
+    }
+
+    /// `LEAD-NoSel`.
+    pub fn no_sel() -> Self {
+        Self { use_attention: false, ..Self::full() }
+    }
+
+    /// `LEAD-NoHie`.
+    pub fn no_hie() -> Self {
+        Self { hierarchical: false, ..Self::full() }
+    }
+
+    /// `LEAD-NoGro`.
+    pub fn no_gro() -> Self {
+        Self { detector: DetectorChoice::Mlp, ..Self::full() }
+    }
+
+    /// `LEAD-NoFor`.
+    pub fn no_for() -> Self {
+        Self { detector: DetectorChoice::BackwardOnly, ..Self::full() }
+    }
+
+    /// `LEAD-NoBac`.
+    pub fn no_bac() -> Self {
+        Self { detector: DetectorChoice::ForwardOnly, ..Self::full() }
+    }
+
+    /// The paper's name for this variant.
+    pub fn name(&self) -> &'static str {
+        if !self.use_poi {
+            "LEAD-NoPoi"
+        } else if !self.use_attention {
+            "LEAD-NoSel"
+        } else if !self.hierarchical {
+            "LEAD-NoHie"
+        } else {
+            match self.detector {
+                DetectorChoice::Both => "LEAD",
+                DetectorChoice::ForwardOnly => "LEAD-NoBac",
+                DetectorChoice::BackwardOnly => "LEAD-NoFor",
+                DetectorChoice::Mlp => "LEAD-NoGro",
+            }
+        }
+    }
+}
+
+impl Default for LeadOptions {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// One labelled training trajectory.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// The raw GPS trajectory (one truck, one day).
+    pub raw: lead_geo::Trajectory,
+    /// The archived loaded trajectory's time intervals.
+    pub truth: TruthLabel,
+}
+
+/// Loss curves and bookkeeping from the offline stage.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Per-epoch mean MSE of the (hierarchical) autoencoder — Figure 9.
+    pub ae_curve: Vec<f32>,
+    /// Per-epoch mean KLD of the forward detector — Figure 10.
+    pub forward_kld_curve: Vec<f32>,
+    /// Per-epoch mean KLD of the backward detector — Figure 10.
+    pub backward_kld_curve: Vec<f32>,
+    /// Per-epoch mean BCE of the `NoGro` MLP (empty otherwise).
+    pub mlp_curve: Vec<f32>,
+    /// Per-epoch validation MSE of the autoencoder (empty without a
+    /// validation split).
+    pub ae_val_curve: Vec<f32>,
+    /// Per-epoch validation KLD of the forward detector.
+    pub forward_val_kld_curve: Vec<f32>,
+    /// Per-epoch validation KLD of the backward detector.
+    pub backward_val_kld_curve: Vec<f32>,
+    /// Trajectories used for detector training.
+    pub used_samples: usize,
+    /// Trajectories skipped (fewer than 2 stay points, or the ground truth
+    /// did not map onto extracted stay points).
+    pub skipped_samples: usize,
+}
+
+/// The result of detecting the loaded trajectory in one raw trajectory.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// The processed trajectory all indexes refer to.
+    pub processed: ProcessedTrajectory,
+    /// Merged probabilities over candidates in the canonical (forward
+    /// flattening) order.
+    pub probabilities: Vec<f32>,
+    /// The detected loaded trajectory `⟨sp_{i'} --→ sp_{j'}⟩`.
+    pub detected: Candidate,
+}
+
+impl DetectionResult {
+    /// The detected loaded trajectory's time span `(start_s, end_s)`.
+    pub fn loaded_interval_s(&self) -> (i64, i64) {
+        let pts = self.processed.cleaned.points();
+        let sp_l = &self.processed.stay_points[self.detected.start_sp];
+        let sp_u = &self.processed.stay_points[self.detected.end_sp];
+        (pts[sp_l.start].t, pts[sp_u.end].t)
+    }
+
+    /// The detected loaded trajectory as a GPS point sequence.
+    pub fn loaded_trajectory(&self) -> lead_geo::Trajectory {
+        self.processed.candidate_trajectory(self.detected)
+    }
+}
+
+/// A trained LEAD model.
+///
+/// ```no_run
+/// use lead_core::config::LeadConfig;
+/// use lead_core::pipeline::{Lead, LeadOptions, TrainSample};
+/// use lead_core::poi::PoiDatabase;
+///
+/// # fn demo(train: Vec<TrainSample>, val: Vec<TrainSample>,
+/// #         poi_db: PoiDatabase, raw: lead_geo::Trajectory) {
+/// // Offline stage: learn from the historical archive.
+/// let (model, report) =
+///     Lead::fit_with_val(&train, &val, &poi_db, &LeadConfig::paper(), LeadOptions::full());
+/// println!("autoencoder converged to MSE {:?}", report.ae_curve.last());
+///
+/// // Persist for the online service.
+/// model.save("hct.lead").unwrap();
+///
+/// // Online stage: detect the loaded trajectory of an unseen raw trajectory.
+/// let model = Lead::load("hct.lead").unwrap();
+/// if let Some(result) = model.detect(&raw, &poi_db) {
+///     let (start_s, end_s) = result.loaded_interval_s();
+///     println!("loaded trajectory ⟨sp_{} --→ sp_{}⟩ spans {start_s}–{end_s}",
+///              result.detected.start_sp, result.detected.end_sp);
+/// }
+/// # }
+/// ```
+pub struct Lead {
+    config: LeadConfig,
+    options: LeadOptions,
+    normalizer: Normalizer,
+    autoencoder: Autoencoder,
+    forward_det: Option<GroupDetector>,
+    backward_det: Option<GroupDetector>,
+    mlp: Option<MlpDetector>,
+}
+
+impl Lead {
+    /// Builds an untrained model with freshly initialised weights — the
+    /// skeleton [`crate::persist`] fills when loading a saved model.
+    pub(crate) fn new_untrained(
+        config: &LeadConfig,
+        options: LeadOptions,
+        normalizer: Normalizer,
+    ) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let kind = if options.hierarchical {
+            EncoderKind::Hierarchical
+        } else {
+            EncoderKind::Flat
+        };
+        let autoencoder = Autoencoder::new(config, kind, options.use_attention, &mut rng);
+        let c_dim = autoencoder.c_vec_dim();
+        let (mut forward_det, mut backward_det, mut mlp) = (None, None, None);
+        match options.detector {
+            DetectorChoice::Both => {
+                forward_det = Some(GroupDetector::new(config, c_dim, &mut rng));
+                backward_det = Some(GroupDetector::new(config, c_dim, &mut rng));
+            }
+            DetectorChoice::ForwardOnly => {
+                forward_det = Some(GroupDetector::new(config, c_dim, &mut rng));
+            }
+            DetectorChoice::BackwardOnly => {
+                backward_det = Some(GroupDetector::new(config, c_dim, &mut rng));
+            }
+            DetectorChoice::Mlp => {
+                mlp = Some(MlpDetector::new(c_dim, &mut rng));
+            }
+        }
+        Lead {
+            config: config.clone(),
+            options,
+            normalizer,
+            autoencoder,
+            forward_det,
+            backward_det,
+            mlp,
+        }
+    }
+
+    pub(crate) fn normalizer_ref(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    pub(crate) fn autoencoder_ref(&self) -> &Autoencoder {
+        &self.autoencoder
+    }
+
+    pub(crate) fn autoencoder_mut(&mut self) -> &mut Autoencoder {
+        &mut self.autoencoder
+    }
+
+    pub(crate) fn forward_det_ref(&self) -> Option<&GroupDetector> {
+        self.forward_det.as_ref()
+    }
+
+    pub(crate) fn forward_det_mut(&mut self) -> Option<&mut GroupDetector> {
+        self.forward_det.as_mut()
+    }
+
+    pub(crate) fn backward_det_ref(&self) -> Option<&GroupDetector> {
+        self.backward_det.as_ref()
+    }
+
+    pub(crate) fn backward_det_mut(&mut self) -> Option<&mut GroupDetector> {
+        self.backward_det.as_mut()
+    }
+
+    pub(crate) fn mlp_ref(&self) -> Option<&MlpDetector> {
+        self.mlp.as_ref()
+    }
+
+    pub(crate) fn mlp_mut(&mut self) -> Option<&mut MlpDetector> {
+        self.mlp.as_mut()
+    }
+
+    /// The offline stage: trains the hierarchical autoencoder
+    /// (self-supervised) and the detector(s) (supervised by archived loaded
+    /// trajectories) on the training split. Early stopping observes the
+    /// training loss; prefer [`Self::fit_with_val`] when a validation split
+    /// is available (the paper's protocol).
+    ///
+    /// # Panics
+    /// Panics if no training sample survives processing.
+    pub fn fit(
+        samples: &[TrainSample],
+        poi_db: &PoiDatabase,
+        config: &LeadConfig,
+        options: LeadOptions,
+    ) -> (Self, TrainingReport) {
+        Self::fit_with_val(samples, &[], poi_db, config, options)
+    }
+
+    /// [`Self::fit`] with a validation split: early stopping observes the
+    /// validation losses and the best-validation-epoch weights are restored
+    /// after each training stage (the paper's Early Stopping protocol).
+    ///
+    /// # Panics
+    /// Panics if no training sample survives processing.
+    pub fn fit_with_val(
+        samples: &[TrainSample],
+        val_samples: &[TrainSample],
+        poi_db: &PoiDatabase,
+        config: &LeadConfig,
+        options: LeadOptions,
+    ) -> (Self, TrainingReport) {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut report = TrainingReport::default();
+
+        // ---- processing + truth projection -------------------------------
+        let mut skipped = 0usize;
+        let mut process_set = |set: &[TrainSample]| -> Vec<(ProcessedTrajectory, Candidate)> {
+            let mut out = Vec::with_capacity(set.len());
+            for s in set {
+                let proc = ProcessedTrajectory::from_raw(&s.raw, config);
+                match truth_stay_indices(&proc, &s.truth) {
+                    Some((l, u)) if proc.num_stay_points() >= 2 => {
+                        out.push((proc, Candidate::new(l, u)));
+                    }
+                    _ => skipped += 1,
+                }
+            }
+            out
+        };
+        let processed = process_set(samples);
+        let val_processed = process_set(val_samples);
+        report.skipped_samples = skipped;
+        assert!(
+            !processed.is_empty(),
+            "no training sample survived processing"
+        );
+        report.used_samples = processed.len();
+
+        // ---- feature normalisation ----------------------------------------
+        let mut fx = FeatureExtractor::new(poi_db, config, options.use_poi);
+        let mut rows = Vec::new();
+        for (proc, _) in &processed {
+            for p in proc.cleaned.points() {
+                rows.push(fx.raw_features(p));
+            }
+        }
+        fx.set_normalizer(Normalizer::fit(&rows));
+        drop(rows);
+
+        // ---- per-trajectory features ---------------------------------------
+        let features: Vec<TrajectoryFeatures> = processed
+            .iter()
+            .map(|(proc, _)| fx.trajectory_features(proc))
+            .collect();
+        let val_features: Vec<TrajectoryFeatures> = val_processed
+            .iter()
+            .map(|(proc, _)| fx.trajectory_features(proc))
+            .collect();
+
+        // ---- autoencoder (self-supervised) ----------------------------------
+        let kind = if options.hierarchical {
+            EncoderKind::Hierarchical
+        } else {
+            EncoderKind::Flat
+        };
+        let mut autoencoder = Autoencoder::new(config, kind, options.use_attention, &mut rng);
+        let sample_candidates =
+            |set: &[(ProcessedTrajectory, Candidate)], tfs: &[TrajectoryFeatures], rng: &mut StdRng| {
+                let mut out = Vec::new();
+                for ((proc, _), tf) in set.iter().zip(tfs) {
+                    let mut cands = proc.candidates.clone();
+                    cands.shuffle(rng);
+                    for c in cands.into_iter().take(config.ae_samples_per_trajectory) {
+                        out.push(tf.candidate(c));
+                    }
+                }
+                out
+            };
+        let ae_samples = sample_candidates(&processed, &features, &mut rng);
+        let ae_val_samples = sample_candidates(&val_processed, &val_features, &mut rng);
+        let val_opt = (!ae_val_samples.is_empty()).then_some(ae_val_samples.as_slice());
+        let (ae_curve, ae_val_curve) =
+            autoencoder.train_with_validation(&ae_samples, val_opt, config, &mut rng);
+        report.ae_curve = ae_curve;
+        report.ae_val_curve = ae_val_curve;
+        drop(ae_samples);
+        drop(ae_val_samples);
+
+        // ---- candidate encoding (compressor frozen) --------------------------
+        let encoded: Vec<Vec<Matrix>> = processed
+            .iter()
+            .zip(&features)
+            .map(|((proc, _), tf)| autoencoder.encode_all(tf, &proc.candidates))
+            .collect();
+        let val_encoded: Vec<Vec<Matrix>> = val_processed
+            .iter()
+            .zip(&val_features)
+            .map(|((proc, _), tf)| autoencoder.encode_all(tf, &proc.candidates))
+            .collect();
+
+        // ---- detectors ---------------------------------------------------------
+        let c_dim = autoencoder.c_vec_dim();
+        let mut forward_det = None;
+        let mut backward_det = None;
+        let mut mlp = None;
+        let detector_items = |set: &[(ProcessedTrajectory, Candidate)],
+                              enc: &[Vec<Matrix>],
+                              forward: bool|
+         -> Vec<(Vec<Vec<Matrix>>, Matrix)> {
+            set.iter()
+                .zip(enc)
+                .map(|((proc, truth), cvecs)| {
+                    let n = proc.num_stay_points();
+                    let by_cand = candidate_index_map(n);
+                    let groups = build_groups(n);
+                    let side = if forward { &groups.forward } else { &groups.backward };
+                    let group: Vec<Vec<Matrix>> = side
+                        .iter()
+                        .map(|sub| sub.iter().map(|c| cvecs[by_cand(*c)].clone()).collect())
+                        .collect();
+                    let order = if forward {
+                        forward_flat_order(n)
+                    } else {
+                        backward_flat_order(n)
+                    };
+                    let label = smoothed_label(&order, *truth, config.label_epsilon);
+                    (group, label)
+                })
+                .collect()
+        };
+        let train_group_detector =
+            |forward: bool, rng: &mut StdRng| -> (GroupDetector, Vec<f32>, Vec<f32>) {
+                let mut det = GroupDetector::new(config, c_dim, rng);
+                let items = detector_items(&processed, &encoded, forward);
+                let val_items = detector_items(&val_processed, &val_encoded, forward);
+                let val_opt = (!val_items.is_empty()).then_some(val_items.as_slice());
+                let (curve, val_curve) = det.train_with_validation(&items, val_opt, config, rng);
+                (det, curve, val_curve)
+            };
+
+        match options.detector {
+            DetectorChoice::Both => {
+                let (d, c, v) = train_group_detector(true, &mut rng);
+                forward_det = Some(d);
+                report.forward_kld_curve = c;
+                report.forward_val_kld_curve = v;
+                let (d, c, v) = train_group_detector(false, &mut rng);
+                backward_det = Some(d);
+                report.backward_kld_curve = c;
+                report.backward_val_kld_curve = v;
+            }
+            DetectorChoice::ForwardOnly => {
+                let (d, c, v) = train_group_detector(true, &mut rng);
+                forward_det = Some(d);
+                report.forward_kld_curve = c;
+                report.forward_val_kld_curve = v;
+            }
+            DetectorChoice::BackwardOnly => {
+                let (d, c, v) = train_group_detector(false, &mut rng);
+                backward_det = Some(d);
+                report.backward_kld_curve = c;
+                report.backward_val_kld_curve = v;
+            }
+            DetectorChoice::Mlp => {
+                let mut det = MlpDetector::new(c_dim, &mut rng);
+                let mlp_items = |set: &[(ProcessedTrajectory, Candidate)],
+                                 enc: &[Vec<Matrix>]|
+                 -> Vec<(Vec<Matrix>, usize)> {
+                    set.iter()
+                        .zip(enc)
+                        .map(|((proc, truth), cvecs)| {
+                            let n = proc.num_stay_points();
+                            let idx = candidate_index_map(n)(*truth);
+                            (cvecs.clone(), idx)
+                        })
+                        .collect()
+                };
+                let items = mlp_items(&processed, &encoded);
+                let val_items = mlp_items(&val_processed, &val_encoded);
+                let val_opt = (!val_items.is_empty()).then_some(val_items.as_slice());
+                report.mlp_curve = det
+                    .train_with_validation(&items, val_opt, config, &mut rng)
+                    .0;
+                mlp = Some(det);
+            }
+        }
+
+        let lead = Lead {
+            config: config.clone(),
+            options,
+            normalizer: fx
+                .normalizer()
+                .expect("normaliser fitted above")
+                .clone(),
+            autoencoder,
+            forward_det,
+            backward_det,
+            mlp,
+        };
+        (lead, report)
+    }
+
+    /// The configured variant.
+    pub fn options(&self) -> LeadOptions {
+        self.options
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &LeadConfig {
+        &self.config
+    }
+
+    /// The online stage: detects the loaded trajectory of an unseen raw
+    /// trajectory. Returns `None` when fewer than two stay points are
+    /// extracted (no candidate exists).
+    pub fn detect(&self, raw: &lead_geo::Trajectory, poi_db: &PoiDatabase) -> Option<DetectionResult> {
+        let proc = ProcessedTrajectory::from_raw(raw, &self.config);
+        self.detect_processed(proc, poi_db)
+    }
+
+    /// Scores an already-processed trajectory (used by [`Self::detect`] and
+    /// by [`crate::streaming::StreamingDetector`], which maintains its own
+    /// incremental processing state).
+    pub fn detect_processed(
+        &self,
+        proc: ProcessedTrajectory,
+        poi_db: &PoiDatabase,
+    ) -> Option<DetectionResult> {
+        let n = proc.num_stay_points();
+        if n < 2 {
+            return None;
+        }
+        let mut fx = FeatureExtractor::new(poi_db, &self.config, self.options.use_poi);
+        fx.set_normalizer(self.normalizer.clone());
+        let tf = fx.trajectory_features(&proc);
+        let cvecs = self.autoencoder.encode_all(&tf, &proc.candidates);
+        let by_cand = candidate_index_map(n);
+
+        let probabilities = match self.options.detector {
+            DetectorChoice::Mlp => {
+                let det = self.mlp.as_ref().expect("MLP detector trained");
+                det.probabilities(&cvecs)
+            }
+            choice => {
+                let groups = build_groups(n);
+                let run = |det: &GroupDetector, side: &[Vec<Candidate>]| -> Vec<f32> {
+                    let refs: Vec<Vec<&Matrix>> = side
+                        .iter()
+                        .map(|sub| sub.iter().map(|c| &cvecs[by_cand(*c)]).collect())
+                        .collect();
+                    det.probabilities(&refs)
+                };
+                match choice {
+                    DetectorChoice::Both => {
+                        let f = run(
+                            self.forward_det.as_ref().expect("forward detector trained"),
+                            &groups.forward,
+                        );
+                        let b = run(
+                            self.backward_det.as_ref().expect("backward detector trained"),
+                            &groups.backward,
+                        );
+                        merge_probabilities(n, &f, &b)
+                    }
+                    DetectorChoice::ForwardOnly => run(
+                        self.forward_det.as_ref().expect("forward detector trained"),
+                        &groups.forward,
+                    ),
+                    DetectorChoice::BackwardOnly => {
+                        // Backward probabilities come in backward flattening;
+                        // re-order to canonical.
+                        let b = run(
+                            self.backward_det.as_ref().expect("backward detector trained"),
+                            &groups.backward,
+                        );
+                        reorder_backward_to_canonical(n, &b)
+                    }
+                    DetectorChoice::Mlp => unreachable!("handled above"),
+                }
+            }
+        };
+
+        let detected = argmax_candidate(n, &probabilities);
+        Some(DetectionResult {
+            processed: proc,
+            probabilities,
+            detected,
+        })
+    }
+}
+
+/// Maps a candidate to its position in the canonical (forward) flattening of
+/// `n` stay points: `(i, j) → i·n − i(i+1)/2 + (j − i − 1)`.
+fn candidate_index_map(n: usize) -> impl Fn(Candidate) -> usize {
+    move |c: Candidate| {
+        debug_assert!(c.end_sp < n);
+        c.start_sp * n - c.start_sp * (c.start_sp + 1) / 2 + (c.end_sp - c.start_sp - 1)
+    }
+}
+
+/// Re-orders a backward-flattened distribution into the canonical order.
+fn reorder_backward_to_canonical(n: usize, bwd: &[f32]) -> Vec<f32> {
+    let by_cand = candidate_index_map(n);
+    let mut out = vec![0.0; bwd.len()];
+    for (pos, c) in backward_flat_order(n).into_iter().enumerate() {
+        out[by_cand(c)] = bwd[pos];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processing::enumerate_candidates;
+
+    #[test]
+    fn candidate_index_map_matches_enumeration() {
+        for n in 2..12 {
+            let f = candidate_index_map(n);
+            for (i, c) in enumerate_candidates(n).into_iter().enumerate() {
+                assert_eq!(f(c), i, "n={n} c={c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_backward_roundtrips() {
+        let n = 5;
+        let m = n * (n - 1) / 2;
+        // Distribution whose value encodes the candidate identity.
+        let order = backward_flat_order(n);
+        let bwd: Vec<f32> = order
+            .iter()
+            .map(|c| (c.start_sp * 10 + c.end_sp) as f32)
+            .collect();
+        let canonical = reorder_backward_to_canonical(n, &bwd);
+        for (i, c) in enumerate_candidates(n).into_iter().enumerate() {
+            assert_eq!(canonical[i], (c.start_sp * 10 + c.end_sp) as f32);
+        }
+        assert_eq!(canonical.len(), m);
+    }
+
+    #[test]
+    fn options_names_match_paper() {
+        assert_eq!(LeadOptions::full().name(), "LEAD");
+        assert_eq!(LeadOptions::no_poi().name(), "LEAD-NoPoi");
+        assert_eq!(LeadOptions::no_sel().name(), "LEAD-NoSel");
+        assert_eq!(LeadOptions::no_hie().name(), "LEAD-NoHie");
+        assert_eq!(LeadOptions::no_gro().name(), "LEAD-NoGro");
+        assert_eq!(LeadOptions::no_for().name(), "LEAD-NoFor");
+        assert_eq!(LeadOptions::no_bac().name(), "LEAD-NoBac");
+    }
+}

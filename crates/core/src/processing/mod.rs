@@ -1,0 +1,145 @@
+//! Raw trajectory processing (Section III): noise filtering, stay-point
+//! extraction, and candidate trajectory generation.
+
+mod candidate;
+mod noise_filter;
+mod stay_point;
+
+pub use candidate::{enumerate_candidates, Candidate};
+pub use noise_filter::filter_noise;
+pub use stay_point::{extract_stay_points, StayPoint};
+
+use crate::config::LeadConfig;
+use lead_geo::Trajectory;
+
+/// The result of running the full processing component on one raw trajectory.
+///
+/// ```
+/// use lead_core::config::LeadConfig;
+/// use lead_core::processing::ProcessedTrajectory;
+/// use lead_geo::{GpsPoint, Trajectory};
+///
+/// // Two 20-minute dwells 5.6 km apart with a fast transit between them.
+/// let mut pts = Vec::new();
+/// for k in 0..10 { pts.push(GpsPoint::new(32.0, 120.90, k * 120)); }
+/// for k in 0..4  { pts.push(GpsPoint::new(32.0, 120.91 + 0.012 * k as f64, 1200 + k * 120)); }
+/// for k in 0..10 { pts.push(GpsPoint::new(32.0, 120.96, 1800 + k * 120)); }
+///
+/// let proc = ProcessedTrajectory::from_raw(&Trajectory::new(pts), &LeadConfig::paper());
+/// assert_eq!(proc.num_stay_points(), 2);
+/// assert_eq!(proc.candidates.len(), 1); // n(n−1)/2
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessedTrajectory {
+    /// The noise-filtered trajectory all indexes below refer to.
+    pub cleaned: Trajectory,
+    /// Extracted stay points, chronologically ordered, non-overlapping.
+    pub stay_points: Vec<StayPoint>,
+    /// All candidate trajectories (ordered stay-point pairs).
+    pub candidates: Vec<Candidate>,
+}
+
+impl ProcessedTrajectory {
+    /// Runs noise filtering → stay-point extraction → candidate generation.
+    pub fn from_raw(raw: &Trajectory, config: &LeadConfig) -> Self {
+        let cleaned = filter_noise(raw, config.v_max_kmh);
+        let stay_points = extract_stay_points(&cleaned, config.d_max_m, config.t_min_s as f64);
+        let candidates = enumerate_candidates(stay_points.len());
+        Self {
+            cleaned,
+            stay_points,
+            candidates,
+        }
+    }
+
+    /// Number of stay points `n`.
+    pub fn num_stay_points(&self) -> usize {
+        self.stay_points.len()
+    }
+
+    /// The GPS-point index range (inclusive) of candidate `c` in `cleaned`:
+    /// from the first point of its starting stay point to the last point of
+    /// its ending stay point.
+    pub fn candidate_point_range(&self, c: Candidate) -> (usize, usize) {
+        let sp_start = &self.stay_points[c.start_sp];
+        let sp_end = &self.stay_points[c.end_sp];
+        (sp_start.start, sp_end.end)
+    }
+
+    /// The GPS-point index range (inclusive) of the move point `mp_k`
+    /// connecting stay points `k` and `k + 1`.
+    ///
+    /// Boundary stay-point endpoints are included so the move point is never
+    /// empty even when two stay points are back-to-back in the cleaned
+    /// trajectory.
+    ///
+    /// # Panics
+    /// Panics if `k + 1 >= stay_points.len()`.
+    pub fn move_point_range(&self, k: usize) -> (usize, usize) {
+        assert!(k + 1 < self.stay_points.len(), "move point index out of range");
+        (self.stay_points[k].end, self.stay_points[k + 1].start)
+    }
+
+    /// The candidate trajectory as a [`Trajectory`] slice of `cleaned`.
+    pub fn candidate_trajectory(&self, c: Candidate) -> Trajectory {
+        let (a, b) = self.candidate_point_range(c);
+        self.cleaned.slice(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead_geo::GpsPoint;
+
+    /// A trajectory with two clear stays 5 km apart.
+    fn two_stay_raw() -> Trajectory {
+        let mut pts = Vec::new();
+        let mut t = 0;
+        // Stay A: 20 min at one spot.
+        for _ in 0..10 {
+            pts.push(GpsPoint::new(32.0, 120.9, t));
+            t += 120;
+        }
+        // Drive 5 km east over ~10 min.
+        for i in 1..=5 {
+            pts.push(GpsPoint::new(32.0, 120.9 + 0.01 * i as f64, t));
+            t += 120;
+        }
+        // Stay B: 20 min.
+        for _ in 0..10 {
+            pts.push(GpsPoint::new(32.0, 120.95, t));
+            t += 120;
+        }
+        // Leave.
+        pts.push(GpsPoint::new(32.0, 121.0, t));
+        Trajectory::new(pts)
+    }
+
+    #[test]
+    fn from_raw_extracts_two_stays_one_candidate() {
+        let p = ProcessedTrajectory::from_raw(&two_stay_raw(), &LeadConfig::paper());
+        assert_eq!(p.num_stay_points(), 2);
+        assert_eq!(p.candidates.len(), 1);
+        let (a, b) = p.candidate_point_range(p.candidates[0]);
+        assert_eq!(a, p.stay_points[0].start);
+        assert_eq!(b, p.stay_points[1].end);
+    }
+
+    #[test]
+    fn move_point_range_is_never_empty() {
+        let p = ProcessedTrajectory::from_raw(&two_stay_raw(), &LeadConfig::paper());
+        let (a, b) = p.move_point_range(0);
+        assert!(b > a);
+        assert_eq!(a, p.stay_points[0].end);
+        assert_eq!(b, p.stay_points[1].start);
+    }
+
+    #[test]
+    fn candidate_trajectory_slices_cleaned() {
+        let p = ProcessedTrajectory::from_raw(&two_stay_raw(), &LeadConfig::paper());
+        let tr = p.candidate_trajectory(p.candidates[0]);
+        let (a, b) = p.candidate_point_range(p.candidates[0]);
+        assert_eq!(tr.len(), b - a + 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Heuristic speed-based noise filtering (Zheng 2015, the paper's
+//! Section III "Noise Filtering").
+
+use lead_geo::{GpsPoint, Trajectory};
+
+/// Removes outlier GPS points whose implied travel speed from their
+/// (retained) precursor exceeds `v_max_kmh`.
+///
+/// The filter walks the trajectory once: each examined point's speed is
+/// computed against the last *kept* point, so a single spike is removed and
+/// the points after it are judged against the true track rather than the
+/// spike (removing one outlier must not cascade into removing its valid
+/// successor).
+pub fn filter_noise(raw: &Trajectory, v_max_kmh: f64) -> Trajectory {
+    assert!(v_max_kmh > 0.0, "speed threshold must be positive");
+    let v_max_mps = v_max_kmh / 3.6;
+    let pts = raw.points();
+    if pts.len() <= 1 {
+        return raw.clone();
+    }
+    let mut kept: Vec<GpsPoint> = Vec::with_capacity(pts.len());
+    kept.push(pts[0]);
+    for &p in &pts[1..] {
+        let prev = kept.last().expect("kept is non-empty");
+        if prev.speed_to_mps(&p) <= v_max_mps {
+            kept.push(p);
+        }
+    }
+    Trajectory::new(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead_geo::distance::meters_to_lng_deg;
+
+    /// A straight eastbound track at `speed_mps`, sampled every 120 s.
+    fn straight(n: usize, speed_mps: f64) -> Vec<GpsPoint> {
+        let step_deg = meters_to_lng_deg(speed_mps * 120.0, 32.0);
+        (0..n)
+            .map(|i| GpsPoint::new(32.0, 120.9 + step_deg * i as f64, i as i64 * 120))
+            .collect()
+    }
+
+    #[test]
+    fn clean_track_is_untouched() {
+        let raw = Trajectory::new(straight(20, 20.0)); // 72 km/h
+        let filtered = filter_noise(&raw, 130.0);
+        assert_eq!(filtered.len(), 20);
+        assert_eq!(filtered.points(), raw.points());
+    }
+
+    #[test]
+    fn single_spike_is_removed() {
+        let mut pts = straight(20, 20.0);
+        // Displace point 10 by ~8 km north: implied speed ≈ 240 km/h.
+        pts[10].lat += 0.072;
+        let filtered = filter_noise(&Trajectory::new(pts.clone()), 130.0);
+        assert_eq!(filtered.len(), 19);
+        assert!(filtered.points().iter().all(|p| (p.lat - 32.0).abs() < 0.01));
+    }
+
+    #[test]
+    fn consecutive_spikes_are_both_removed() {
+        let mut pts = straight(20, 20.0);
+        pts[10].lat += 0.072;
+        pts[11].lat += 0.080;
+        let filtered = filter_noise(&Trajectory::new(pts), 130.0);
+        assert_eq!(filtered.len(), 18);
+    }
+
+    #[test]
+    fn successor_of_spike_survives() {
+        // After removing the spike, point 11 is compared to point 9, not to
+        // the spike — it must be kept.
+        let mut pts = straight(20, 20.0);
+        pts[10].lat += 0.072;
+        let filtered = filter_noise(&Trajectory::new(pts.clone()), 130.0);
+        assert!(filtered.points().iter().any(|p| p.t == pts[11].t));
+    }
+
+    #[test]
+    fn zero_dt_jump_is_removed() {
+        let mut pts = straight(5, 20.0);
+        // Duplicate timestamp with a displaced location: infinite speed.
+        pts.insert(
+            3,
+            GpsPoint::new(32.05, pts[2].lng, pts[2].t),
+        );
+        let filtered = filter_noise(&Trajectory::new_unchecked(pts), 130.0);
+        assert_eq!(filtered.len(), 5);
+    }
+
+    #[test]
+    fn short_trajectories_pass_through() {
+        let one = Trajectory::new(vec![GpsPoint::new(32.0, 120.9, 0)]);
+        assert_eq!(filter_noise(&one, 130.0).len(), 1);
+        assert_eq!(filter_noise(&Trajectory::empty(), 130.0).len(), 0);
+    }
+
+    #[test]
+    fn first_point_is_always_kept() {
+        let mut pts = straight(10, 20.0);
+        pts[0].lat += 0.2; // the spike is the first point
+        let filtered = filter_noise(&Trajectory::new(pts.clone()), 130.0);
+        // The filter has no precursor to judge p0 against, so p0 stays and p1
+        // (now far from p0) is judged against it. This mirrors the reference
+        // heuristic, which anchors on the first observation.
+        assert_eq!(filtered.points()[0], pts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_threshold_rejected() {
+        let _ = filter_noise(&Trajectory::empty(), 0.0);
+    }
+}

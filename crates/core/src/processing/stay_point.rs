@@ -1,0 +1,196 @@
+//! Rule-based stay-point extraction (Li et al. 2008; the paper's
+//! Section III "Stay Point Extraction" and Definition 2).
+
+use lead_geo::Trajectory;
+
+/// A stay point: the inclusive index range `[start, end]` of a subtrajectory
+/// during which the truck remained within `D_max` of the anchor for at least
+/// `T_min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StayPoint {
+    /// Index of the anchor (first) GPS point.
+    pub start: usize,
+    /// Index of the last GPS point within `D_max` of the anchor.
+    pub end: usize,
+}
+
+impl StayPoint {
+    /// Number of GPS points in the stay.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Stay points always contain at least one point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Extracts all stay points from a (cleaned) trajectory.
+///
+/// The algorithm anchors at a point `i`, finds the maximal run of successors
+/// within `d_max_m` of `p_i`, and emits a stay point when the run spans at
+/// least `t_min_s` seconds; the anchor then jumps past the stay (stay points
+/// are temporally consecutive and non-overlapping, "convenient for stay
+/// points numbering"). Otherwise the anchor advances by one.
+pub fn extract_stay_points(tr: &Trajectory, d_max_m: f64, t_min_s: f64) -> Vec<StayPoint> {
+    assert!(d_max_m > 0.0 && t_min_s > 0.0, "thresholds must be positive");
+    let pts = tr.points();
+    let n = pts.len();
+    let mut stays = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // The maximal run of successors within d_max of the anchor.
+        let mut j = i;
+        while j + 1 < n && pts[i].distance_m(&pts[j + 1]) <= d_max_m {
+            j += 1;
+        }
+        if j > i && (pts[j].t - pts[i].t) as f64 >= t_min_s {
+            stays.push(StayPoint { start: i, end: j });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    stays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead_geo::distance::meters_to_lng_deg;
+    use lead_geo::GpsPoint;
+
+    const INTERVAL: i64 = 120;
+
+    /// Builds a trajectory from (east-offset-m, minutes) waypoints at Nantong
+    /// latitude.
+    fn traj(points_m_t: &[(f64, i64)]) -> Trajectory {
+        let per_m = meters_to_lng_deg(1.0, 32.0);
+        Trajectory::new(
+            points_m_t
+                .iter()
+                .map(|&(x, t)| GpsPoint::new(32.0, 120.9 + x * per_m, t))
+                .collect(),
+        )
+    }
+
+    /// `n` samples at position `x` starting at `t0`.
+    fn dwell(x: f64, t0: i64, n: usize) -> Vec<(f64, i64)> {
+        (0..n).map(|k| (x, t0 + k as i64 * INTERVAL)).collect()
+    }
+
+    #[test]
+    fn a_long_dwell_is_a_stay_point() {
+        let tr = traj(&dwell(0.0, 0, 10)); // 18 minutes at one spot
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert_eq!(stays, vec![StayPoint { start: 0, end: 9 }]);
+        assert_eq!(stays[0].len(), 10);
+    }
+
+    #[test]
+    fn a_short_dwell_is_not_a_stay_point() {
+        let tr = traj(&dwell(0.0, 0, 5)); // 8 minutes < T_min
+        assert!(extract_stay_points(&tr, 500.0, 900.0).is_empty());
+    }
+
+    #[test]
+    fn moving_track_has_no_stay_points() {
+        // 1 km between consecutive samples.
+        let pts: Vec<(f64, i64)> = (0..30).map(|i| (i as f64 * 1_000.0, i as i64 * INTERVAL)).collect();
+        let tr = traj(&pts);
+        assert!(extract_stay_points(&tr, 500.0, 900.0).is_empty());
+    }
+
+    #[test]
+    fn two_separate_dwells_give_two_stays() {
+        let mut pts = dwell(0.0, 0, 10);
+        // Drive 5 km away over 4 samples.
+        for k in 1..=4 {
+            pts.push((k as f64 * 1_250.0, 1_080 + k as i64 * INTERVAL));
+        }
+        let t0 = pts.last().unwrap().1 + INTERVAL;
+        pts.extend(dwell(5_000.0, t0, 10));
+        let tr = traj(&pts);
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert_eq!(stays.len(), 2);
+        assert_eq!(stays[0], StayPoint { start: 0, end: 9 });
+        // The final transit sample sits exactly at the second dwell location,
+        // so it anchors the second stay (index 13, not 14).
+        assert_eq!(stays[1].start, 13);
+        assert_eq!(stays[1].end, 23);
+    }
+
+    #[test]
+    fn stays_are_non_overlapping_and_ordered() {
+        let mut pts = Vec::new();
+        let mut t = 0;
+        for block in 0..4 {
+            for p in dwell(block as f64 * 3_000.0, t, 9) {
+                pts.push(p);
+            }
+            t += 9 * INTERVAL;
+            // Transit: two samples covering 3 km.
+            pts.push((block as f64 * 3_000.0 + 1_500.0, t));
+            t += INTERVAL;
+        }
+        let tr = traj(&pts);
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert!(stays.len() >= 3);
+        for w in stays.windows(2) {
+            assert!(w[0].end < w[1].start, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn wander_within_d_max_still_counts_as_one_stay() {
+        // Points drift up to 400 m from the anchor but never beyond D_max.
+        let mut pts = Vec::new();
+        for k in 0..10 {
+            let x = (k % 3) as f64 * 200.0;
+            pts.push((x, k as i64 * INTERVAL));
+        }
+        pts.push((5_000.0, 10 * INTERVAL)); // departure
+        let tr = traj(&pts);
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert_eq!(stays, vec![StayPoint { start: 0, end: 9 }]);
+    }
+
+    #[test]
+    fn distance_is_measured_from_the_anchor_not_pairwise() {
+        // A slow drift: consecutive points 300 m apart (within D_max of each
+        // other) but the run leaves the anchor's 500 m disc quickly, so no
+        // stay point forms even over a long time.
+        let pts: Vec<(f64, i64)> = (0..20).map(|k| (k as f64 * 300.0, k as i64 * INTERVAL)).collect();
+        let tr = traj(&pts);
+        assert!(extract_stay_points(&tr, 500.0, 900.0).is_empty());
+    }
+
+    #[test]
+    fn trailing_dwell_at_end_of_trajectory_is_extracted() {
+        let mut pts: Vec<(f64, i64)> = (0..5).map(|k| (k as f64 * 2_000.0, k as i64 * INTERVAL)).collect();
+        let t0 = 5 * INTERVAL;
+        pts.extend(dwell(8_000.0 + 2_000.0, t0, 10));
+        let tr = traj(&pts);
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert_eq!(stays.len(), 1);
+        assert_eq!(stays[0].end, tr.len() - 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_trajectories() {
+        assert!(extract_stay_points(&Trajectory::empty(), 500.0, 900.0).is_empty());
+        let one = traj(&[(0.0, 0)]);
+        assert!(extract_stay_points(&one, 500.0, 900.0).is_empty());
+    }
+
+    #[test]
+    fn exact_threshold_boundaries() {
+        // Exactly T_min duration and exactly D_max displacement are included
+        // (Definition 2 uses ≥ for time and ≤ for distance).
+        let pts = vec![(0.0, 0), (499.0, 450), (0.0, 900), (5_000.0, 1_020)];
+        let tr = traj(&pts);
+        let stays = extract_stay_points(&tr, 500.0, 900.0);
+        assert_eq!(stays, vec![StayPoint { start: 0, end: 2 }]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Online (streaming) loaded-trajectory detection.
+//!
+//! The paper's deployment motivation is *immediacy*: "Once an HCT truck is
+//! found to violate the regulations, further actions can be taken
+//! immediately" — but the batch pipeline needs the whole one-day trajectory.
+//! [`StreamingDetector`] closes that gap: GPS points are pushed as they
+//! arrive, noise filtering and stay-point extraction run incrementally, and
+//! every time a stay point *completes* the trained model re-scores the
+//! candidates seen so far, yielding a running hypothesis of the loaded
+//! trajectory.
+//!
+//! The incremental processing is **exactly equivalent** to the batch
+//! component: feeding a trajectory point-by-point and then calling
+//! [`StreamingDetector::finish`] yields the same cleaned points and the same
+//! stay points as [`ProcessedTrajectory::from_raw`] (a property test pins
+//! this down).
+
+use crate::pipeline::{DetectionResult, Lead};
+use crate::poi::PoiDatabase;
+use crate::processing::{enumerate_candidates, ProcessedTrajectory, StayPoint};
+use lead_geo::{GpsPoint, Trajectory};
+
+/// Incremental stay-point extraction over a growing point buffer — the
+/// online form of [`crate::processing::extract_stay_points`], maintaining
+/// the invariant that every buffered point after the anchor lies within
+/// `D_max` of the anchor (an *open run*).
+///
+/// Feeding a buffer point-by-point emits exactly the stays the batch
+/// algorithm finds, in order (the trailing open run is closed by
+/// [`Self::finish`]); a property test in `tests/proptest_core.rs` pins the
+/// equivalence on random trajectories.
+#[derive(Debug, Clone)]
+pub struct IncrementalStayExtractor {
+    d_max_m: f64,
+    t_min_s: i64,
+    anchor: usize,
+}
+
+impl IncrementalStayExtractor {
+    /// Creates an extractor with the given thresholds.
+    pub fn new(d_max_m: f64, t_min_s: i64) -> Self {
+        assert!(d_max_m > 0.0 && t_min_s > 0, "thresholds must be positive");
+        Self {
+            d_max_m,
+            t_min_s,
+            anchor: 0,
+        }
+    }
+
+    /// The current open-run anchor index.
+    pub fn anchor(&self) -> usize {
+        self.anchor
+    }
+
+    /// Called after one point was appended to `points`; returns every stay
+    /// that completed (mirrors the batch algorithm's anchor walk).
+    ///
+    /// Usually zero or one stay completes per point, but re-anchoring after
+    /// an emission can reveal a second qualifying run inside the buffered
+    /// history (two dwell clusters both within `D_max` of the old anchor yet
+    /// apart from each other), so all completions are returned in order.
+    pub fn on_point_appended(&mut self, points: &[GpsPoint]) -> Vec<StayPoint> {
+        let mut emitted = Vec::new();
+        loop {
+            let end = points.len() - 1;
+            if self.anchor >= end {
+                break;
+            }
+            // First point after the anchor that breaks the run.
+            let mut brk = None;
+            for j in (self.anchor + 1)..=end {
+                if points[self.anchor].distance_m(&points[j]) > self.d_max_m {
+                    brk = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = brk else {
+                break; // run still open at buffer end
+            };
+            let run_end = j - 1;
+            if run_end > self.anchor
+                && points[run_end].t - points[self.anchor].t >= self.t_min_s
+            {
+                emitted.push(StayPoint {
+                    start: self.anchor,
+                    end: run_end,
+                });
+                self.anchor = j;
+            } else {
+                self.anchor += 1;
+            }
+        }
+        emitted
+    }
+
+    /// Closes a qualifying trailing run at end-of-stream.
+    pub fn finish(&self, points: &[GpsPoint]) -> Option<StayPoint> {
+        let end = points.len().checked_sub(1)?;
+        (self.anchor < end && points[end].t - points[self.anchor].t >= self.t_min_s).then_some(
+            StayPoint {
+                start: self.anchor,
+                end,
+            },
+        )
+    }
+}
+
+/// What changed after pushing one GPS point.
+#[derive(Debug, Clone)]
+pub struct StreamUpdate {
+    /// The point was rejected by the speed-based noise filter.
+    pub filtered_out: bool,
+    /// Indexes of stay points that *completed* with this push (usually empty
+    /// or one; see [`IncrementalStayExtractor::on_point_appended`]).
+    pub completed_stays: Vec<usize>,
+    /// The current best hypothesis (recomputed only when a stay completes
+    /// and at least two stay points exist).
+    pub hypothesis: Option<DetectionResult>,
+}
+
+/// Incremental raw-trajectory processing plus rolling detection.
+pub struct StreamingDetector<'m, 'p> {
+    model: &'m Lead,
+    poi_db: &'p PoiDatabase,
+    /// Noise-filtered points so far.
+    points: Vec<GpsPoint>,
+    /// Completed stay points.
+    stays: Vec<StayPoint>,
+    extractor: IncrementalStayExtractor,
+    v_max_mps: f64,
+}
+
+impl<'m, 'p> StreamingDetector<'m, 'p> {
+    /// Starts a stream against a trained model.
+    pub fn new(model: &'m Lead, poi_db: &'p PoiDatabase) -> Self {
+        let v_max_mps = model.config().v_max_kmh / 3.6;
+        let extractor =
+            IncrementalStayExtractor::new(model.config().d_max_m, model.config().t_min_s);
+        Self {
+            model,
+            poi_db,
+            points: Vec::new(),
+            stays: Vec::new(),
+            extractor,
+            v_max_mps,
+        }
+    }
+
+    /// Number of accepted (noise-filtered) points so far.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Completed stay points so far.
+    pub fn stay_points(&self) -> &[StayPoint] {
+        &self.stays
+    }
+
+    /// Pushes one GPS point.
+    ///
+    /// # Panics
+    /// Panics if `p` is not strictly later than the previous accepted point.
+    pub fn push(&mut self, p: GpsPoint) -> StreamUpdate {
+        // Incremental noise filter: judge against the last kept point.
+        if let Some(last) = self.points.last() {
+            assert!(p.t > last.t, "stream must be chronological");
+            if last.speed_to_mps(&p) > self.v_max_mps {
+                return StreamUpdate {
+                    filtered_out: true,
+                    completed_stays: Vec::new(),
+                    hypothesis: None,
+                };
+            }
+        }
+        self.points.push(p);
+        let mut completed_stays = Vec::new();
+        for stay in self.extractor.on_point_appended(&self.points) {
+            self.stays.push(stay);
+            completed_stays.push(self.stays.len() - 1);
+        }
+        let hypothesis = if !completed_stays.is_empty() && self.stays.len() >= 2 {
+            self.score()
+        } else {
+            None
+        };
+        StreamUpdate {
+            filtered_out: false,
+            completed_stays,
+            hypothesis,
+        }
+    }
+
+    fn current_processed(&self) -> ProcessedTrajectory {
+        ProcessedTrajectory {
+            cleaned: Trajectory::new(self.points.clone()),
+            stay_points: self.stays.clone(),
+            candidates: enumerate_candidates(self.stays.len()),
+        }
+    }
+
+    fn score(&self) -> Option<DetectionResult> {
+        self.model
+            .detect_processed(self.current_processed(), self.poi_db)
+    }
+
+    /// Ends the stream: closes a qualifying trailing run (the batch
+    /// algorithm's end-of-trajectory stay) and returns the final detection.
+    pub fn finish(mut self) -> Option<DetectionResult> {
+        if let Some(stay) = self.extractor.finish(&self.points) {
+            self.stays.push(stay);
+        }
+        self.score()
+    }
+
+    /// The processing state as a batch-equivalent [`ProcessedTrajectory`]
+    /// (completed stays only; the trailing open run is not closed).
+    pub fn snapshot(&self) -> ProcessedTrajectory {
+        self.current_processed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LeadConfig;
+    use crate::processing::extract_stay_points;
+    use lead_geo::distance::meters_to_lng_deg;
+
+    /// Synthetic day: dwell / drive / dwell / drive / dwell.
+    fn demo_points() -> Vec<GpsPoint> {
+        let per_km = meters_to_lng_deg(1_000.0, 32.0);
+        let mut pts = Vec::new();
+        let mut t = 0;
+        for block in 0..3 {
+            let lng = 120.9 + block as f64 * 5.0 * per_km;
+            for _ in 0..10 {
+                pts.push(GpsPoint::new(32.0, lng, t));
+                t += 120;
+            }
+            for k in 1..=3 {
+                pts.push(GpsPoint::new(32.0, lng + k as f64 * 1.25 * per_km, t));
+                t += 120;
+            }
+        }
+        pts
+    }
+
+    /// An untrained model is fine for testing the *processing* equivalence.
+    fn dummy_model() -> (Lead, PoiDatabase) {
+        use crate::features::{Normalizer, FEATURE_DIM};
+        use crate::pipeline::LeadOptions;
+        let cfg = LeadConfig::fast_test();
+        let model = Lead::new_untrained(&cfg, LeadOptions::full(), Normalizer::identity(FEATURE_DIM));
+        let db = PoiDatabase::new(vec![]);
+        (model, db)
+    }
+
+    #[test]
+    fn streaming_extraction_matches_batch() {
+        let (model, db) = dummy_model();
+        let pts = demo_points();
+        let mut stream = StreamingDetector::new(&model, &db);
+        for &p in &pts {
+            stream.push(p);
+        }
+        // Completed stays must be a prefix of the batch extraction.
+        let batch = extract_stay_points(
+            &Trajectory::new(pts.clone()),
+            model.config().d_max_m,
+            model.config().t_min_s as f64,
+        );
+        let streamed = stream.stay_points().to_vec();
+        assert!(!streamed.is_empty());
+        assert_eq!(&batch[..streamed.len()], &streamed[..]);
+        // finish() closes the trailing dwell: full equality.
+        let mut stream = StreamingDetector::new(&model, &db);
+        for &p in &pts {
+            stream.push(p);
+        }
+        let snapshot = {
+            let mut s = stream.snapshot().stay_points;
+            if let Some(stay) = stream.extractor.finish(&pts) {
+                s.push(stay);
+            }
+            s
+        };
+        assert_eq!(batch, snapshot);
+    }
+
+    #[test]
+    fn noise_is_filtered_incrementally() {
+        let (model, db) = dummy_model();
+        let mut stream = StreamingDetector::new(&model, &db);
+        assert!(!stream.push(GpsPoint::new(32.0, 120.9, 0)).filtered_out);
+        // 8 km jump in 120 s ≈ 240 km/h → filtered.
+        let update = stream.push(GpsPoint::new(32.072, 120.9, 120));
+        assert!(update.filtered_out);
+        assert_eq!(stream.num_points(), 1);
+        // The next sane point is accepted (judged against the kept point).
+        assert!(!stream.push(GpsPoint::new(32.001, 120.9, 240)).filtered_out);
+        assert!(stream
+            .push(GpsPoint::new(32.002, 120.9, 360))
+            .completed_stays
+            .is_empty());
+    }
+
+    #[test]
+    fn hypothesis_appears_once_two_stays_complete() {
+        let (model, db) = dummy_model();
+        let mut stream = StreamingDetector::new(&model, &db);
+        let mut first_hypothesis_at = None;
+        for (i, &p) in demo_points().iter().enumerate() {
+            let u = stream.push(p);
+            if u.hypothesis.is_some() && first_hypothesis_at.is_none() {
+                first_hypothesis_at = Some(i);
+                assert!(stream.stay_points().len() >= 2);
+            }
+        }
+        assert!(first_hypothesis_at.is_some(), "no rolling hypothesis emitted");
+    }
+
+    #[test]
+    fn finish_detects_with_trailing_stay() {
+        let (model, db) = dummy_model();
+        let mut stream = StreamingDetector::new(&model, &db);
+        for &p in &demo_points() {
+            stream.push(p);
+        }
+        let result = stream.finish().expect("three stays → detectable");
+        assert!(result.processed.num_stay_points() >= 2);
+        assert!(result.detected.start_sp < result.detected.end_sp);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn non_chronological_push_panics() {
+        let (model, db) = dummy_model();
+        let mut stream = StreamingDetector::new(&model, &db);
+        stream.push(GpsPoint::new(32.0, 120.9, 100));
+        stream.push(GpsPoint::new(32.0, 120.9, 50));
+    }
+}

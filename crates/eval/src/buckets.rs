@@ -1,0 +1,83 @@
+//! The paper's stay-point-count buckets (Table III header).
+
+/// A stay-point-count bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// 3–5 stay points (22 % of the paper's test set).
+    B3to5,
+    /// 6–8 stay points (34 %).
+    B6to8,
+    /// 9–11 stay points (25 %).
+    B9to11,
+    /// 12–14 stay points (19 %).
+    B12to14,
+}
+
+impl Bucket {
+    /// All buckets in order.
+    pub const ALL: [Bucket; 4] = [Bucket::B3to5, Bucket::B6to8, Bucket::B9to11, Bucket::B12to14];
+
+    /// The bucket of a trajectory with `n` extracted stay points.
+    ///
+    /// Counts outside 3–14 are clamped to the nearest bucket: extraction on
+    /// noisy data occasionally merges or splits a stay, and the paper's
+    /// buckets jointly cover its whole test set.
+    pub fn of(n: usize) -> Bucket {
+        match n {
+            0..=5 => Bucket::B3to5,
+            6..=8 => Bucket::B6to8,
+            9..=11 => Bucket::B9to11,
+            _ => Bucket::B12to14,
+        }
+    }
+
+    /// Dense index 0..4.
+    pub fn index(self) -> usize {
+        match self {
+            Bucket::B3to5 => 0,
+            Bucket::B6to8 => 1,
+            Bucket::B9to11 => 2,
+            Bucket::B12to14 => 3,
+        }
+    }
+
+    /// The paper's column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::B3to5 => "3~5",
+            Bucket::B6to8 => "6~8",
+            Bucket::B9to11 => "9~11",
+            Bucket::B12to14 => "12~14",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_the_paper() {
+        assert_eq!(Bucket::of(3), Bucket::B3to5);
+        assert_eq!(Bucket::of(5), Bucket::B3to5);
+        assert_eq!(Bucket::of(6), Bucket::B6to8);
+        assert_eq!(Bucket::of(8), Bucket::B6to8);
+        assert_eq!(Bucket::of(9), Bucket::B9to11);
+        assert_eq!(Bucket::of(11), Bucket::B9to11);
+        assert_eq!(Bucket::of(12), Bucket::B12to14);
+        assert_eq!(Bucket::of(14), Bucket::B12to14);
+    }
+
+    #[test]
+    fn out_of_range_counts_clamp() {
+        assert_eq!(Bucket::of(2), Bucket::B3to5);
+        assert_eq!(Bucket::of(20), Bucket::B12to14);
+    }
+
+    #[test]
+    fn indexes_are_dense() {
+        for (i, b) in Bucket::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+}

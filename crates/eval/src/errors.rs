@@ -1,0 +1,135 @@
+//! Error analysis beyond the paper's exact-hit `Acc`: where do detections go
+//! wrong?
+//!
+//! A miss can still be useful to a regulator (one endpoint right, the other
+//! off by one stay). This module decomposes detections into endpoint-level
+//! outcomes, which the EXPERIMENTS discussion uses to characterise the
+//! residual errors of the scaled-down reproduction.
+
+use lead_core::processing::Candidate;
+
+/// Endpoint-level outcome of one detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// Both endpoints exact (the paper's "hit").
+    Exact,
+    /// The loading stay is right, the unloading stay is not.
+    LoadingOnly,
+    /// The unloading stay is right, the loading stay is not.
+    UnloadingOnly,
+    /// Both endpoints wrong.
+    BothWrong,
+}
+
+/// Aggregated endpoint-level error statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorBreakdown {
+    exact: usize,
+    loading_only: usize,
+    unloading_only: usize,
+    both_wrong: usize,
+    /// Sum of |detected − truth| over both endpoints (stay-index distance).
+    total_offset: usize,
+}
+
+impl ErrorBreakdown {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies and records one detection against its ground truth.
+    pub fn record(&mut self, detected: Candidate, truth: Candidate) -> DetectionOutcome {
+        let load_ok = detected.start_sp == truth.start_sp;
+        let unload_ok = detected.end_sp == truth.end_sp;
+        let outcome = match (load_ok, unload_ok) {
+            (true, true) => DetectionOutcome::Exact,
+            (true, false) => DetectionOutcome::LoadingOnly,
+            (false, true) => DetectionOutcome::UnloadingOnly,
+            (false, false) => DetectionOutcome::BothWrong,
+        };
+        match outcome {
+            DetectionOutcome::Exact => self.exact += 1,
+            DetectionOutcome::LoadingOnly => self.loading_only += 1,
+            DetectionOutcome::UnloadingOnly => self.unloading_only += 1,
+            DetectionOutcome::BothWrong => self.both_wrong += 1,
+        }
+        self.total_offset += detected.start_sp.abs_diff(truth.start_sp)
+            + detected.end_sp.abs_diff(truth.end_sp);
+        outcome
+    }
+
+    /// Number of recorded detections.
+    pub fn total(&self) -> usize {
+        self.exact + self.loading_only + self.unloading_only + self.both_wrong
+    }
+
+    /// Share (%) of exact hits.
+    pub fn exact_pct(&self) -> Option<f64> {
+        self.pct(self.exact)
+    }
+
+    /// Share (%) of detections with at least one correct endpoint.
+    pub fn partial_or_better_pct(&self) -> Option<f64> {
+        self.pct(self.exact + self.loading_only + self.unloading_only)
+    }
+
+    /// Mean stay-index offset per detection (0 for all-exact).
+    pub fn mean_offset(&self) -> Option<f64> {
+        (self.total() > 0).then(|| self.total_offset as f64 / self.total() as f64)
+    }
+
+    fn pct(&self, count: usize) -> Option<f64> {
+        (self.total() > 0).then(|| count as f64 / self.total() as f64 * 100.0)
+    }
+
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} detections: {} exact, {} loading-only, {} unloading-only, {} both-wrong (mean offset {:.2})",
+            self.total(),
+            self.exact,
+            self.loading_only,
+            self.unloading_only,
+            self.both_wrong,
+            self.mean_offset().unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(a: usize, b: usize) -> Candidate {
+        Candidate::new(a, b)
+    }
+
+    #[test]
+    fn outcomes_are_classified() {
+        let mut e = ErrorBreakdown::new();
+        assert_eq!(e.record(c(1, 3), c(1, 3)), DetectionOutcome::Exact);
+        assert_eq!(e.record(c(1, 4), c(1, 3)), DetectionOutcome::LoadingOnly);
+        assert_eq!(e.record(c(0, 3), c(1, 3)), DetectionOutcome::UnloadingOnly);
+        assert_eq!(e.record(c(0, 5), c(1, 3)), DetectionOutcome::BothWrong);
+        assert_eq!(e.total(), 4);
+        assert_eq!(e.exact_pct(), Some(25.0));
+        assert_eq!(e.partial_or_better_pct(), Some(75.0));
+    }
+
+    #[test]
+    fn mean_offset_counts_both_endpoints() {
+        let mut e = ErrorBreakdown::new();
+        e.record(c(1, 3), c(1, 3)); // offset 0
+        e.record(c(0, 5), c(2, 3)); // offset 2 + 2 = 4
+        assert_eq!(e.mean_offset(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_breakdown_reports_none() {
+        let e = ErrorBreakdown::new();
+        assert_eq!(e.exact_pct(), None);
+        assert_eq!(e.mean_offset(), None);
+        assert!(e.summary().contains("0 detections"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The detection-accuracy metric `Acc` (Equation (14)), per bucket.
+
+use crate::buckets::Bucket;
+
+/// Hit/total counters per stay-point bucket plus overall.
+#[derive(Debug, Clone, Default)]
+pub struct BucketAccuracy {
+    hits: [usize; 4],
+    totals: [usize; 4],
+}
+
+impl BucketAccuracy {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one test sample with `n_stays` extracted stay points.
+    pub fn record(&mut self, n_stays: usize, hit: bool) {
+        let b = Bucket::of(n_stays).index();
+        self.totals[b] += 1;
+        if hit {
+            self.hits[b] += 1;
+        }
+    }
+
+    /// Accuracy (%) within one bucket; `None` for an empty bucket.
+    pub fn acc(&self, bucket: Bucket) -> Option<f64> {
+        let i = bucket.index();
+        (self.totals[i] > 0).then(|| self.hits[i] as f64 / self.totals[i] as f64 * 100.0)
+    }
+
+    /// Overall accuracy (%) across all buckets; `None` when empty.
+    pub fn overall(&self) -> Option<f64> {
+        let total: usize = self.totals.iter().sum();
+        let hits: usize = self.hits.iter().sum();
+        (total > 0).then(|| hits as f64 / total as f64 * 100.0)
+    }
+
+    /// Number of samples in one bucket.
+    pub fn count(&self, bucket: Bucket) -> usize {
+        self.totals[bucket.index()]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> usize {
+        self.totals.iter().sum()
+    }
+
+    /// Share (%) of samples falling in one bucket (the paper's "Percentage"
+    /// header row); `None` when nothing recorded.
+    pub fn share(&self, bucket: Bucket) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| self.count(bucket) as f64 / total as f64 * 100.0)
+    }
+}
+
+/// Temporal intersection-over-union between the detected and ground-truth
+/// loaded intervals (seconds) — a *soft* companion to the paper's exact-hit
+/// `Acc`: a detection that misses one stay point by one position can still
+/// cover 90 %+ of the true loaded time span, which matters for downstream
+/// uses like compliance auditing.
+///
+/// Returns a value in `[0, 1]`; 1 iff the intervals coincide.
+///
+/// # Panics
+/// Panics if either interval is empty or reversed.
+pub fn interval_iou(detected: (i64, i64), truth: (i64, i64)) -> f64 {
+    assert!(detected.0 < detected.1, "empty detected interval");
+    assert!(truth.0 < truth.1, "empty truth interval");
+    let inter = (detected.1.min(truth.1) - detected.0.max(truth.0)).max(0);
+    let union = (detected.1.max(truth.1) - detected.0.min(truth.0)).max(1);
+    inter as f64 / union as f64
+}
+
+/// Accumulates mean temporal IoU per bucket.
+#[derive(Debug, Clone, Default)]
+pub struct BucketIou {
+    sums: [f64; 4],
+    counts: [usize; 4],
+}
+
+impl BucketIou {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one detection's interval IoU.
+    pub fn record(&mut self, n_stays: usize, iou: f64) {
+        debug_assert!((0.0..=1.0).contains(&iou));
+        let b = Bucket::of(n_stays).index();
+        self.sums[b] += iou;
+        self.counts[b] += 1;
+    }
+
+    /// Mean IoU within a bucket; `None` when empty.
+    pub fn mean(&self, bucket: Bucket) -> Option<f64> {
+        let i = bucket.index();
+        (self.counts[i] > 0).then(|| self.sums[i] / self.counts[i] as f64)
+    }
+
+    /// Overall mean IoU.
+    pub fn overall(&self) -> Option<f64> {
+        let n: usize = self.counts.iter().sum();
+        (n > 0).then(|| self.sums.iter().sum::<f64>() / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identities() {
+        assert_eq!(interval_iou((0, 100), (0, 100)), 1.0);
+        assert_eq!(interval_iou((0, 50), (50, 100)), 0.0);
+        assert!((interval_iou((0, 100), (50, 150)) - 1.0 / 3.0).abs() < 1e-12);
+        // Containment: |inner| / |outer|.
+        assert!((interval_iou((25, 75), (0, 100)) - 0.5).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(interval_iou((0, 60), (30, 90)), interval_iou((30, 90), (0, 60)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty detected interval")]
+    fn empty_interval_rejected() {
+        let _ = interval_iou((10, 10), (0, 100));
+    }
+
+    #[test]
+    fn bucket_iou_means() {
+        let mut b = BucketIou::new();
+        b.record(4, 1.0);
+        b.record(4, 0.5);
+        b.record(10, 0.2);
+        assert_eq!(b.mean(Bucket::B3to5), Some(0.75));
+        assert_eq!(b.mean(Bucket::B9to11), Some(0.2));
+        assert_eq!(b.mean(Bucket::B6to8), None);
+        assert!((b.overall().unwrap() - 1.7 / 3.0).abs() < 1e-12);
+        assert_eq!(BucketIou::new().overall(), None);
+    }
+
+    #[test]
+    fn accuracy_per_bucket_and_overall() {
+        let mut acc = BucketAccuracy::new();
+        acc.record(4, true);
+        acc.record(4, false);
+        acc.record(7, true);
+        acc.record(13, true);
+        assert_eq!(acc.acc(Bucket::B3to5), Some(50.0));
+        assert_eq!(acc.acc(Bucket::B6to8), Some(100.0));
+        assert_eq!(acc.acc(Bucket::B9to11), None);
+        assert_eq!(acc.acc(Bucket::B12to14), Some(100.0));
+        assert_eq!(acc.overall(), Some(75.0));
+        assert_eq!(acc.total(), 4);
+        assert_eq!(acc.share(Bucket::B3to5), Some(50.0));
+    }
+
+    #[test]
+    fn empty_accumulator_reports_none() {
+        let acc = BucketAccuracy::new();
+        assert_eq!(acc.overall(), None);
+        assert_eq!(acc.acc(Bucket::B3to5), None);
+        assert_eq!(acc.share(Bucket::B6to8), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Paper-style text tables and CSV emission.
+
+use crate::buckets::Bucket;
+use crate::runner::EvalOutcome;
+
+/// Formats outcomes as the paper's accuracy table (Tables III / IV): one row
+/// per method, one column per stay-point bucket plus the overall column.
+pub fn accuracy_table(title: &str, outcomes: &[EvalOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "Acc(%)", "3~5", "6~8", "9~11", "12~14", "3~14"
+    ));
+    if let Some(first) = outcomes.first() {
+        let shares: Vec<String> = Bucket::ALL
+            .iter()
+            .map(|&b| match first.accuracy.share(b) {
+                Some(p) => format!("({p:.0}%)"),
+                None => "(-)".into(),
+            })
+            .collect();
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "#Samples", shares[0], shares[1], shares[2], shares[3], "(100%)"
+        ));
+    }
+    for o in outcomes {
+        let cells: Vec<String> = Bucket::ALL
+            .iter()
+            .map(|&b| fmt_pct(o.accuracy.acc(b)))
+            .collect();
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            o.name,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            fmt_pct(o.accuracy.overall())
+        ));
+    }
+    s
+}
+
+/// Formats outcomes as the paper's Figure 8 data: mean inference time (ms)
+/// per bucket per method.
+pub fn timing_table(title: &str, outcomes: &[EvalOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "Time(ms)", "3~5", "6~8", "9~11", "12~14", "3~14"
+    ));
+    for o in outcomes {
+        let cells: Vec<String> = Bucket::ALL
+            .iter()
+            .map(|&b| fmt_ms(o.timing.mean_ms(b)))
+            .collect();
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            o.name,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            fmt_ms(o.timing.overall_mean_ms())
+        ));
+    }
+    s
+}
+
+/// Formats outcomes as a mean temporal-IoU table (soft accuracy; not in the
+/// paper, see EXPERIMENTS.md).
+pub fn iou_table(title: &str, outcomes: &[EvalOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    s.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "IoU", "3~5", "6~8", "9~11", "12~14", "3~14"
+    ));
+    for o in outcomes {
+        let cells: Vec<String> = Bucket::ALL
+            .iter()
+            .map(|&b| match o.iou.mean(b) {
+                Some(v) => format!("{v:.3}"),
+                None => "-".into(),
+            })
+            .collect();
+        s.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            o.name,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            match o.iou.overall() {
+                Some(v) => format!("{v:.3}"),
+                None => "-".into(),
+            }
+        ));
+    }
+    s
+}
+
+/// Formats a per-epoch loss curve (Figures 9–10) as `epoch,loss` CSV lines.
+pub fn curve_csv(name: &str, curve: &[f32]) -> String {
+    let mut s = String::from("series,epoch,loss\n");
+    for (i, l) in curve.iter().enumerate() {
+        s.push_str(&format!("{name},{},{l:.6}\n", i + 1));
+    }
+    s
+}
+
+/// CSV rows of an accuracy table (`method,bucket,accuracy_pct`).
+pub fn accuracy_csv(outcomes: &[EvalOutcome]) -> String {
+    let mut s = String::from("method,bucket,accuracy_pct\n");
+    for o in outcomes {
+        for &b in &Bucket::ALL {
+            if let Some(a) = o.accuracy.acc(b) {
+                s.push_str(&format!("{},{},{a:.2}\n", o.name, b.label()));
+            }
+        }
+        if let Some(a) = o.accuracy.overall() {
+            s.push_str(&format!("{},3~14,{a:.2}\n", o.name));
+        }
+    }
+    s
+}
+
+fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(p) => format!("{p:.1}"),
+        None => "-".into(),
+    }
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.2}"),
+        None => "-".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{BucketAccuracy, BucketIou};
+    use crate::timing::BucketTiming;
+    use lead_core::pipeline::TrainingReport;
+    use std::time::Duration;
+
+    fn outcome() -> EvalOutcome {
+        let mut accuracy = BucketAccuracy::new();
+        accuracy.record(4, true);
+        accuracy.record(7, false);
+        let mut timing = BucketTiming::new();
+        timing.record(4, Duration::from_millis(5));
+        timing.record(7, Duration::from_millis(9));
+        let mut iou = BucketIou::new();
+        iou.record(4, 1.0);
+        iou.record(7, 0.4);
+        EvalOutcome {
+            name: "LEAD",
+            accuracy,
+            timing,
+            iou,
+            report: TrainingReport::default(),
+            train_seconds: 1.0,
+            excluded_test_samples: 0,
+        }
+    }
+
+    #[test]
+    fn accuracy_table_contains_rows_and_headers() {
+        let t = accuracy_table("Table III", &[outcome()]);
+        assert!(t.contains("Table III"));
+        assert!(t.contains("3~5"));
+        assert!(t.contains("LEAD"));
+        assert!(t.contains("100.0"));
+        assert!(t.contains("50.0")); // overall
+    }
+
+    #[test]
+    fn timing_table_contains_ms() {
+        let t = timing_table("Figure 8", &[outcome()]);
+        assert!(t.contains("5.00"));
+        assert!(t.contains("9.00"));
+    }
+
+    #[test]
+    fn iou_table_formats_means() {
+        let t = iou_table("Soft accuracy", &[outcome()]);
+        assert!(t.contains("1.000"));
+        assert!(t.contains("0.400"));
+        assert!(t.contains("0.700")); // overall mean
+    }
+
+    #[test]
+    fn curve_csv_is_one_line_per_epoch() {
+        let csv = curve_csv("HA in LEAD", &[0.5, 0.25]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("HA in LEAD,2,0.250000"));
+    }
+
+    #[test]
+    fn accuracy_csv_has_per_bucket_rows() {
+        let csv = accuracy_csv(&[outcome()]);
+        assert!(csv.contains("LEAD,3~5,100.00"));
+        assert!(csv.contains("LEAD,3~14,50.00"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Property-based tests of the evaluation metrics.
+
+use lead_eval::metrics::{interval_iou, BucketAccuracy};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn interval_iou_is_a_bounded_symmetric_similarity(
+        a in 0i64..5_000,
+        alen in 1i64..5_000,
+        b in 0i64..5_000,
+        blen in 1i64..5_000,
+    ) {
+        let x = (a, a + alen);
+        let y = (b, b + blen);
+        let v = interval_iou(x, y);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - interval_iou(y, x)).abs() < 1e-12);
+        prop_assert!((interval_iou(x, x) - 1.0).abs() < 1e-12);
+        // Disjoint intervals score zero.
+        let z = (a + alen + 1, a + alen + 2);
+        prop_assert_eq!(interval_iou(x, z), 0.0);
+    }
+
+    #[test]
+    fn bucket_accuracy_totals_are_consistent(
+        records in prop::collection::vec((3usize..15, any::<bool>()), 0..60),
+    ) {
+        let mut acc = BucketAccuracy::new();
+        for &(n, hit) in &records {
+            acc.record(n, hit);
+        }
+        prop_assert_eq!(acc.total(), records.len());
+        if records.is_empty() {
+            prop_assert_eq!(acc.overall(), None);
+        } else {
+            let hits = records.iter().filter(|(_, h)| *h).count();
+            let expect = hits as f64 / records.len() as f64 * 100.0;
+            prop_assert!((acc.overall().unwrap() - expect).abs() < 1e-9);
+            // Bucket shares sum to 100 %.
+            let share_sum: f64 = lead_eval::Bucket::ALL
+                .iter()
+                .filter_map(|&b| acc.share(b))
+                .sum();
+            prop_assert!((share_sum - 100.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Axis-aligned bounding boxes over WGS84 coordinates.
+
+use crate::point::GpsPoint;
+
+/// An axis-aligned lat/lng bounding box.
+///
+/// Used to delimit the synthetic city extent and to size the [`crate::GridIndex`].
+/// Does not handle antimeridian wrapping: the LEAD deployment area (a single
+/// Chinese prefecture) never crosses it, and the synthetic city inherits that
+/// assumption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Southernmost latitude in degrees.
+    pub min_lat: f64,
+    /// Westernmost longitude in degrees.
+    pub min_lng: f64,
+    /// Northernmost latitude in degrees.
+    pub max_lat: f64,
+    /// Easternmost longitude in degrees.
+    pub max_lng: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box.
+    ///
+    /// # Panics
+    /// Panics if `min_lat > max_lat` or `min_lng > max_lng`.
+    pub fn new(min_lat: f64, min_lng: f64, max_lat: f64, max_lng: f64) -> Self {
+        assert!(
+            min_lat <= max_lat && min_lng <= max_lng,
+            "inverted bounding box"
+        );
+        Self {
+            min_lat,
+            min_lng,
+            max_lat,
+            max_lng,
+        }
+    }
+
+    /// The smallest box containing every point, or `None` for an empty slice.
+    pub fn from_points(points: &[GpsPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = BoundingBox::new(first.lat, first.lng, first.lat, first.lng);
+        for p in &points[1..] {
+            b.min_lat = b.min_lat.min(p.lat);
+            b.max_lat = b.max_lat.max(p.lat);
+            b.min_lng = b.min_lng.min(p.lng);
+            b.max_lng = b.max_lng.max(p.lng);
+        }
+        Some(b)
+    }
+
+    /// Whether `(lat, lng)` lies inside (boundary inclusive).
+    pub fn contains(&self, lat: f64, lng: f64) -> bool {
+        lat >= self.min_lat && lat <= self.max_lat && lng >= self.min_lng && lng <= self.max_lng
+    }
+
+    /// Latitude span in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude span in degrees.
+    pub fn lng_span(&self) -> f64 {
+        self.max_lng - self.min_lng
+    }
+
+    /// Box grown by `margin_deg` degrees on every side.
+    pub fn expanded(&self, margin_deg: f64) -> Self {
+        BoundingBox::new(
+            self.min_lat - margin_deg,
+            self.min_lng - margin_deg,
+            self.max_lat + margin_deg,
+            self.max_lng + margin_deg,
+        )
+    }
+
+    /// Center of the box as `(lat, lng)`.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lng + self.max_lng) / 2.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = vec![
+            GpsPoint::new(32.0, 120.9, 0),
+            GpsPoint::new(32.5, 120.5, 60),
+            GpsPoint::new(31.8, 121.1, 120),
+        ];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        assert_eq!(b.min_lat, 31.8);
+        assert_eq!(b.max_lat, 32.5);
+        assert_eq!(b.min_lng, 120.5);
+        assert_eq!(b.max_lng, 121.1);
+        for p in &pts {
+            assert!(b.contains(p.lat, p.lng));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_inclusive() {
+        let b = BoundingBox::new(31.0, 120.0, 32.0, 121.0);
+        assert!(b.contains(31.0, 120.0));
+        assert!(b.contains(32.0, 121.0));
+        assert!(!b.contains(32.0001, 121.0));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = BoundingBox::new(31.0, 120.0, 32.0, 121.0).expanded(0.1);
+        assert_eq!(b.min_lat, 30.9);
+        assert_eq!(b.max_lng, 121.1);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = BoundingBox::new(31.0, 120.0, 33.0, 122.0);
+        assert_eq!(b.center(), (32.0, 121.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_box_panics() {
+        let _ = BoundingBox::new(33.0, 120.0, 31.0, 122.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! CSV import/export for trajectories.
+//!
+//! Real deployments receive truck GPS feeds as delimited text; this module
+//! reads and writes the minimal interchange format
+//! `truck_id,timestamp_s,lat,lng` (header required, one point per line,
+//! points of one truck grouped and chronological).
+
+use crate::point::{GpsPoint, Trajectory};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing trajectory CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (1-based line number and description).
+    Parse(usize, String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse(line, m) => write!(f, "line {line}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// The expected header line.
+pub const HEADER: &str = "truck_id,timestamp_s,lat,lng";
+
+/// Writes trajectories as CSV, one `(truck_id, trajectory)` pair after
+/// another.
+pub fn write_trajectories<W: Write>(
+    items: &[(u32, &Trajectory)],
+    w: &mut W,
+) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for (truck_id, tr) in items {
+        for p in tr.points() {
+            writeln!(w, "{truck_id},{},{:.7},{:.7}", p.t, p.lat, p.lng)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads trajectories written by [`write_trajectories`] (or any conforming
+/// producer): consecutive rows with the same `truck_id` form one trajectory;
+/// a change of id starts the next.
+///
+/// Within one trajectory timestamps must be strictly increasing; rows are
+/// otherwise free-form CSV without quoting (coordinates and ids contain no
+/// commas).
+pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>, CsvError> {
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse(1, "empty input".into()))?;
+    let header = header?;
+    if header.trim() != HEADER {
+        return Err(CsvError::Parse(1, format!("expected header `{HEADER}`")));
+    }
+
+    let mut out: Vec<(u32, Trajectory)> = Vec::new();
+    let mut current_id: Option<u32> = None;
+    let mut points: Vec<GpsPoint> = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let id: u32 = parse_field(&mut parts, lineno, "truck_id")?;
+        let t: i64 = parse_field(&mut parts, lineno, "timestamp_s")?;
+        let lat: f64 = parse_field(&mut parts, lineno, "lat")?;
+        let lng: f64 = parse_field(&mut parts, lineno, "lng")?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lng) {
+            return Err(CsvError::Parse(lineno, format!("coordinates out of range: {lat},{lng}")));
+        }
+        if current_id != Some(id) {
+            flush(&mut out, current_id, &mut points, lineno)?;
+            current_id = Some(id);
+        }
+        if let Some(last) = points.last() {
+            if last.t >= t {
+                return Err(CsvError::Parse(
+                    lineno,
+                    format!("non-increasing timestamp {t} after {}", last.t),
+                ));
+            }
+        }
+        points.push(GpsPoint::new(lat, lng, t));
+    }
+    let final_line = usize::MAX;
+    flush(&mut out, current_id, &mut points, final_line)?;
+    Ok(out)
+}
+
+fn flush(
+    out: &mut Vec<(u32, Trajectory)>,
+    id: Option<u32>,
+    points: &mut Vec<GpsPoint>,
+    lineno: usize,
+) -> Result<(), CsvError> {
+    if let Some(id) = id {
+        if points.is_empty() {
+            return Err(CsvError::Parse(lineno, format!("truck {id} has no points")));
+        }
+        out.push((id, Trajectory::new(std::mem::take(points))));
+    }
+    Ok(())
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, CsvError>
+where
+    T::Err: fmt::Display,
+{
+    let tok = parts
+        .next()
+        .ok_or_else(|| CsvError::Parse(lineno, format!("missing field `{what}`")))?;
+    tok.trim()
+        .parse()
+        .map_err(|e| CsvError::Parse(lineno, format!("bad {what} `{tok}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(points: &[(f64, f64, i64)]) -> Trajectory {
+        Trajectory::new(
+            points
+                .iter()
+                .map(|&(lat, lng, t)| GpsPoint::new(lat, lng, t))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_two_trucks() {
+        let a = tr(&[(32.0, 120.9, 0), (32.01, 120.91, 120)]);
+        let b = tr(&[(31.9, 120.8, 60), (31.91, 120.81, 180), (31.92, 120.82, 300)]);
+        let mut buf = Vec::new();
+        write_trajectories(&[(7, &a), (9, &b)], &mut buf).unwrap();
+        let got = read_trajectories(&mut buf.as_slice()).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 7);
+        assert_eq!(got[0].1.len(), 2);
+        assert_eq!(got[1].0, 9);
+        assert_eq!(got[1].1.points()[2].t, 300);
+        // Coordinates survive at 1e-7 degrees (~1 cm).
+        assert!((got[0].1.points()[0].lat - 32.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn alternating_ids_split_trajectories() {
+        let csv = format!("{HEADER}\n1,0,32.0,120.9\n2,0,32.0,120.9\n1,120,32.0,120.9\n");
+        let got = read_trajectories(&mut csv.as_bytes()).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_trajectories(&mut "a,b,c\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse(1, _)), "{err}");
+    }
+
+    #[test]
+    fn non_increasing_timestamps_rejected() {
+        let csv = format!("{HEADER}\n1,100,32.0,120.9\n1,100,32.0,120.9\n");
+        let err = read_trajectories(&mut csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-increasing"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_coordinates_rejected() {
+        let csv = format!("{HEADER}\n1,0,95.0,120.9\n");
+        assert!(read_trajectories(&mut csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let csv = format!("{HEADER}\n1,0,32.0\n");
+        let err = read_trajectories(&mut csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn empty_body_is_ok() {
+        let csv = format!("{HEADER}\n");
+        assert!(read_trajectories(&mut csv.as_bytes()).unwrap().is_empty());
+    }
+}

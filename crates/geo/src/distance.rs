@@ -1,0 +1,107 @@
+//! Great-circle and fast approximate distances on the WGS84 sphere.
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle distance between two WGS84 coordinates, in meters, using the
+/// haversine formula.
+///
+/// Numerically stable for both very small and antipodal separations; this is
+/// the `distance(p_i, p_k)` used by the paper's stay-point definition
+/// (Definition 2).
+pub fn haversine_m(lat1: f64, lng1: f64, lat2: f64, lng2: f64) -> f64 {
+    let (phi1, phi2) = (lat1.to_radians(), lat2.to_radians());
+    let dphi = (lat2 - lat1).to_radians();
+    let dlambda = (lng2 - lng1).to_radians();
+    let a = (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+    // Clamp guards tiny negative values / >1 from floating-point rounding.
+    let a = a.clamp(0.0, 1.0);
+    2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+}
+
+/// Fast equirectangular approximation of the distance in meters.
+///
+/// Within a city-scale extent (tens of kilometers) the error versus haversine
+/// is far below GPS noise, so hot loops (stay-point extraction over millions
+/// of points, grid-index candidate filtering) may use this instead. The
+/// `distance` benchmark in `lead-bench` quantifies the speedup.
+pub fn equirectangular_m(lat1: f64, lng1: f64, lat2: f64, lng2: f64) -> f64 {
+    let mean_lat = ((lat1 + lat2) / 2.0).to_radians();
+    let x = (lng2 - lng1).to_radians() * mean_lat.cos();
+    let y = (lat2 - lat1).to_radians();
+    EARTH_RADIUS_M * (x * x + y * y).sqrt()
+}
+
+/// Degrees of latitude spanning `meters` on the meridian.
+pub fn meters_to_lat_deg(meters: f64) -> f64 {
+    meters / EARTH_RADIUS_M * 180.0 / std::f64::consts::PI
+}
+
+/// Degrees of longitude spanning `meters` along the parallel at `lat` degrees.
+///
+/// # Panics
+/// Panics in debug builds if `lat` is within 0.1° of a pole, where a
+/// longitude span is ill-defined.
+pub fn meters_to_lng_deg(meters: f64, lat: f64) -> f64 {
+    debug_assert!(lat.abs() < 89.9, "longitude span undefined near the poles");
+    meters_to_lat_deg(meters) / lat.to_radians().cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_for_identical_coordinates() {
+        assert_eq!(haversine_m(32.0, 120.9, 32.0, 120.9), 0.0);
+        assert_eq!(equirectangular_m(32.0, 120.9, 32.0, 120.9), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let d = haversine_m(32.0, 120.9, 33.0, 120.9);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn known_pair_nantong_to_shanghai() {
+        // Nantong (32.01, 120.86) to Shanghai (31.23, 121.47): ~105 km.
+        let d = haversine_m(32.01, 120.86, 31.23, 121.47);
+        assert!((d - 104_000.0).abs() < 3_000.0, "got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let d1 = haversine_m(32.0, 120.9, 31.5, 121.2);
+        let d2 = haversine_m(31.5, 121.2, 32.0, 120.9);
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_at_city_scale() {
+        // 500 m and 5 km separations around Nantong.
+        for (dlat, dlng) in [(0.001, 0.002), (0.02, 0.03), (0.0, 0.005), (0.004, 0.0)] {
+            let h = haversine_m(32.0, 120.9, 32.0 + dlat, 120.9 + dlng);
+            let e = equirectangular_m(32.0, 120.9, 32.0 + dlat, 120.9 + dlng);
+            assert!((h - e).abs() / h.max(1.0) < 1e-4, "h={h} e={e}");
+        }
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let d = haversine_m(0.0, 0.0, 0.0, 180.0);
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn meters_to_degrees_roundtrip() {
+        let dlat = meters_to_lat_deg(500.0);
+        let d = haversine_m(32.0, 120.9, 32.0 + dlat, 120.9);
+        assert!((d - 500.0).abs() < 0.5, "got {d}");
+
+        let dlng = meters_to_lng_deg(500.0, 32.0);
+        let d = haversine_m(32.0, 120.9, 32.0, 120.9 + dlng);
+        assert!((d - 500.0).abs() < 0.5, "got {d}");
+    }
+}

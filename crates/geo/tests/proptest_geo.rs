@@ -1,0 +1,138 @@
+//! Property-based tests of the geographic substrate.
+
+use lead_geo::distance::{equirectangular_m, haversine_m};
+use lead_geo::{BoundingBox, GpsPoint, GridIndex, LocalProjection};
+use proptest::prelude::*;
+
+/// City-scale coordinates around Nantong.
+fn city_lat() -> impl Strategy<Value = f64> {
+    31.7..32.3f64
+}
+fn city_lng() -> impl Strategy<Value = f64> {
+    120.6..121.2f64
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_nonnegative_and_symmetric(
+        a in (city_lat(), city_lng()),
+        b in (city_lat(), city_lng()),
+    ) {
+        let d1 = haversine_m(a.0, a.1, b.0, b.1);
+        let d2 = haversine_m(b.0, b.1, a.0, a.1);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_identity_of_indiscernibles(p in (city_lat(), city_lng())) {
+        prop_assert_eq!(haversine_m(p.0, p.1, p.0, p.1), 0.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        a in (city_lat(), city_lng()),
+        b in (city_lat(), city_lng()),
+        c in (city_lat(), city_lng()),
+    ) {
+        let ab = haversine_m(a.0, a.1, b.0, b.1);
+        let bc = haversine_m(b.0, b.1, c.0, c.1);
+        let ac = haversine_m(a.0, a.1, c.0, c.1);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn equirectangular_tracks_haversine_at_city_scale(
+        a in (city_lat(), city_lng()),
+        b in (city_lat(), city_lng()),
+    ) {
+        let h = haversine_m(a.0, a.1, b.0, b.1);
+        let e = equirectangular_m(a.0, a.1, b.0, b.1);
+        // < 0.1 % relative error within a ~60 km extent.
+        prop_assert!((h - e).abs() <= h.max(1.0) * 1e-3, "h={} e={}", h, e);
+    }
+
+    #[test]
+    fn grid_index_matches_linear_scan(
+        items in prop::collection::vec((city_lat(), city_lng()), 1..80),
+        q in (city_lat(), city_lng()),
+        radius in 10.0..5_000.0f64,
+    ) {
+        let indexed: Vec<(f64, f64, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lng))| (lat, lng, i))
+            .collect();
+        let grid = GridIndex::build(indexed, 250.0);
+        let mut got: Vec<usize> = grid
+            .within_radius(q.0, q.1, radius)
+            .into_iter()
+            .map(|(i, _)| *i)
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lat, lng))| haversine_m(q.0, q.1, lat, lng) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn grid_count_equals_within_len(
+        items in prop::collection::vec((city_lat(), city_lng()), 1..60),
+        q in (city_lat(), city_lng()),
+        radius in 10.0..3_000.0f64,
+    ) {
+        let indexed: Vec<(f64, f64, ())> =
+            items.iter().map(|&(lat, lng)| (lat, lng, ())).collect();
+        let grid = GridIndex::build(indexed, 400.0);
+        prop_assert_eq!(
+            grid.count_within(q.0, q.1, radius),
+            grid.within_radius(q.0, q.1, radius).len()
+        );
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(
+        pts in prop::collection::vec((city_lat(), city_lng()), 1..50),
+    ) {
+        let gps: Vec<GpsPoint> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(lat, lng))| GpsPoint::new(lat, lng, i as i64))
+            .collect();
+        let bbox = BoundingBox::from_points(&gps).unwrap();
+        for p in &gps {
+            prop_assert!(bbox.contains(p.lat, p.lng));
+        }
+    }
+
+    #[test]
+    fn projection_roundtrip(
+        x in -40_000.0..40_000.0f64,
+        y in -40_000.0..40_000.0f64,
+    ) {
+        let proj = LocalProjection::new(32.0, 120.9);
+        let (lat, lng) = proj.to_latlng(x, y);
+        let (x2, y2) = proj.to_xy(lat, lng);
+        prop_assert!((x - x2).abs() < 1e-5);
+        prop_assert!((y - y2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn projection_preserves_distance(
+        a in (-20_000.0..20_000.0f64, -20_000.0..20_000.0f64),
+        b in (-20_000.0..20_000.0f64, -20_000.0..20_000.0f64),
+    ) {
+        let proj = LocalProjection::new(32.0, 120.9);
+        let (alat, alng) = proj.to_latlng(a.0, a.1);
+        let (blat, blng) = proj.to_latlng(b.0, b.1);
+        let euclid = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let sphere = haversine_m(alat, alng, blat, blng);
+        // Equirectangular projection error at ≤ 60 km scales: < 0.2 %.
+        prop_assert!((euclid - sphere).abs() <= euclid.max(1.0) * 2e-3);
+    }
+}

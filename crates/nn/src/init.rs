@@ -1,0 +1,54 @@
+//! Weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: entries drawn from
+/// `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// The paper's operators are tanh/sigmoid-activated LSTMs and fully connected
+/// layers, for which Glorot initialisation is the standard choice.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit) as f32)
+}
+
+/// Uniform initialisation in `[-limit, limit]`.
+pub fn uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize, limit: f64) -> Matrix {
+    assert!(limit >= 0.0, "limit must be non-negative");
+    if limit == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = xavier_uniform(&mut rng, 32, 128);
+        let limit = (6.0f64 / 160.0).sqrt() as f32;
+        assert!(m.data().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(7), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(7), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_zero_limit_is_zeros() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 3, 3, 0.0);
+        assert_eq!(m, Matrix::zeros(3, 3));
+    }
+}

@@ -1,0 +1,224 @@
+//! Lossless text serialisation of parameter sets.
+//!
+//! Trained LEAD models must survive process restarts (the offline stage runs
+//! once; the online stage runs for months), so parameters round-trip through
+//! a simple line-oriented format. Values are stored as hexadecimal `f32`
+//! bit patterns — exact round-trips, no decimal parsing ambiguity:
+//!
+//! ```text
+//! leadnn-params v1
+//! param det.out.w 64 1
+//! 3f800000 bf000000 …
+//! end
+//! ```
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while reading a parameter stream.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not in the expected format.
+    Format(String),
+    /// A parameter in the stream does not match the receiving set.
+    Mismatch(String),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Format(m) => write!(f, "format error: {m}"),
+            ReadError::Mismatch(m) => write!(f, "parameter mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes every parameter of `params` to `w`.
+pub fn write_params<W: Write>(params: &ParamSet, w: &mut W) -> std::io::Result<()> {
+    writeln!(w, "leadnn-params v1")?;
+    for (id, value) in params.iter() {
+        writeln!(w, "param {} {} {}", params.name(id), value.rows(), value.cols())?;
+        let mut line = String::with_capacity(value.len() * 9);
+        for (i, v) in value.data().iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{:08x}", v.to_bits()));
+        }
+        writeln!(w, "{line}")?;
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Reads a parameter stream written by [`write_params`] into `params`.
+///
+/// The receiving set must already contain every parameter in the stream with
+/// the same name and shape (build the model architecture first, then load);
+/// extra parameters in the set are an error, as are missing ones.
+pub fn read_params<R: BufRead>(params: &mut ParamSet, r: &mut R) -> Result<(), ReadError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ReadError::Format("empty stream".into()))??;
+    if header.trim() != "leadnn-params v1" {
+        return Err(ReadError::Format(format!("unexpected header `{header}`")));
+    }
+
+    let mut by_name: std::collections::HashMap<String, ParamId> = params
+        .iter()
+        .map(|(id, _)| (params.name(id).to_string(), id))
+        .collect();
+
+    loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| ReadError::Format("missing `end`".into()))??;
+        let line = line.trim();
+        if line == "end" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("param") => {}
+            other => return Err(ReadError::Format(format!("expected `param`, got {other:?}"))),
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| ReadError::Format("param without name".into()))?
+            .to_string();
+        let rows: usize = parse_dim(parts.next(), "rows")?;
+        let cols: usize = parse_dim(parts.next(), "cols")?;
+        let id = by_name
+            .remove(&name)
+            .ok_or_else(|| ReadError::Mismatch(format!("unknown or duplicate parameter `{name}`")))?;
+        let expect = params.value(id).shape();
+        if expect != (rows, cols) {
+            return Err(ReadError::Mismatch(format!(
+                "`{name}`: stream says {rows}x{cols}, model has {}x{}",
+                expect.0, expect.1
+            )));
+        }
+        let data_line = lines
+            .next()
+            .ok_or_else(|| ReadError::Format(format!("`{name}`: missing data line")))??;
+        let mut data = Vec::with_capacity(rows * cols);
+        for tok in data_line.split_whitespace() {
+            let bits = u32::from_str_radix(tok, 16)
+                .map_err(|e| ReadError::Format(format!("`{name}`: bad value `{tok}`: {e}")))?;
+            data.push(f32::from_bits(bits));
+        }
+        if data.len() != rows * cols {
+            return Err(ReadError::Format(format!(
+                "`{name}`: expected {} values, found {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        *params.value_mut(id) = Matrix::from_vec(rows, cols, data);
+    }
+
+    if !by_name.is_empty() {
+        let mut missing: Vec<String> = by_name.into_keys().collect();
+        missing.sort();
+        return Err(ReadError::Mismatch(format!(
+            "stream is missing parameters: {}",
+            missing.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+fn parse_dim(tok: Option<&str>, what: &str) -> Result<usize, ReadError> {
+    tok.ok_or_else(|| ReadError::Format(format!("param without {what}")))?
+        .parse()
+        .map_err(|e| ReadError::Format(format!("bad {what}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_params(seed: u64) -> ParamSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamSet::new();
+        ps.register("a.w", crate::init::xavier_uniform(&mut rng, 3, 4));
+        ps.register("a.b", Matrix::zeros(1, 4));
+        ps.register("b.w", crate::init::xavier_uniform(&mut rng, 2, 2));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let src = sample_params(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+
+        let mut dst = sample_params(2); // different values, same structure
+        read_params(&mut dst, &mut buf.as_slice()).unwrap();
+        for (id, value) in src.iter() {
+            assert_eq!(value.data(), dst.value(id).data(), "{}", src.name(id));
+        }
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut ps = ParamSet::new();
+        let id = ps.register("w", Matrix::from_vec(1, 4, vec![0.0, -0.0, f32::MIN_POSITIVE, 1e-38]));
+        let mut buf = Vec::new();
+        write_params(&ps, &mut buf).unwrap();
+        let mut dst = ParamSet::new();
+        dst.register("w", Matrix::zeros(1, 4));
+        read_params(&mut dst, &mut buf.as_slice()).unwrap();
+        assert_eq!(
+            ps.value(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            dst.value(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let src = sample_params(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = ParamSet::new();
+        dst.register("a.w", Matrix::zeros(4, 3)); // transposed shape
+        dst.register("a.b", Matrix::zeros(1, 4));
+        dst.register("b.w", Matrix::zeros(2, 2));
+        let err = read_params(&mut dst, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_parameter_is_rejected() {
+        let src = sample_params(1);
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+        let mut dst = sample_params(1);
+        dst.register("extra.w", Matrix::zeros(1, 1));
+        let err = read_params(&mut dst, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let mut dst = sample_params(1);
+        let err = read_params(&mut dst, &mut "not a header\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::Format(_)), "{err}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Gated recurrent unit (Chung et al. 2014), used by the SP-GRU baseline.
+
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+use crate::tape::{Graph, Var};
+use rand::Rng;
+
+/// A single-direction GRU.
+///
+/// Gate layout in the fused weight matrices is `[z | r | n]` (update, reset,
+/// candidate). The candidate uses the "v3" formulation
+/// `n = tanh(x·Wxn + r ⊙ (h·Whn) + bn)`, matching the reference
+/// implementation evaluated by Chung et al.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Gru {
+    /// Registers a GRU with `in_dim` inputs and `hidden` units under `name`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = ps.register(format!("{name}.wx"), xavier_uniform(rng, in_dim, 3 * hidden));
+        let wh = ps.register(format!("{name}.wh"), xavier_uniform(rng, hidden, 3 * hidden));
+        let b = ps.register(format!("{name}.b"), Matrix::zeros(1, 3 * hidden));
+        Self {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One recurrence step: consumes `x` (1×in_dim) and `h`, returns new `h`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
+        debug_assert_eq!(g.value(x).shape(), (1, self.in_dim), "gru input shape");
+        let wx = g.param(self.wx);
+        let wh = g.param(self.wh);
+        let b = g.param(self.b);
+        let gx = g.matmul(x, wx);
+        let gx = g.add_row_broadcast(gx, b);
+        let gh = g.matmul(h, wh);
+        let hsz = self.hidden;
+        let zx = g.slice_cols(gx, 0, hsz);
+        let rx = g.slice_cols(gx, hsz, 2 * hsz);
+        let nx = g.slice_cols(gx, 2 * hsz, 3 * hsz);
+        let zh = g.slice_cols(gh, 0, hsz);
+        let rh = g.slice_cols(gh, hsz, 2 * hsz);
+        let nh = g.slice_cols(gh, 2 * hsz, 3 * hsz);
+        let z_pre = g.add(zx, zh);
+        let z = g.sigmoid(z_pre);
+        let r_pre = g.add(rx, rh);
+        let r = g.sigmoid(r_pre);
+        let rnh = g.mul(r, nh);
+        let n_pre = g.add(nx, rnh);
+        let n = g.tanh(n_pre);
+        let omz = g.one_minus(z);
+        let new_part = g.mul(omz, n);
+        let keep_part = g.mul(z, h);
+        g.add(new_part, keep_part)
+    }
+
+    /// Runs the recurrence over a sequence of 1×in_dim nodes, returning every
+    /// hidden state.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn forward(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
+        assert!(!xs.is_empty(), "GRU over an empty sequence");
+        let mut h = g.constant(Matrix::zeros(1, self.hidden));
+        let mut hs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(g, x, h);
+            hs.push(h);
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(g: &mut Graph, t: usize, d: usize) -> Vec<Var> {
+        (0..t)
+            .map(|i| {
+                g.constant(Matrix::from_fn(1, d, |_, c| {
+                    ((i * d + c) as f32 * 0.29).cos() * 0.4
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_emits_one_hidden_per_step() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let gru = Gru::new(&mut ps, &mut rng, "g", 3, 6);
+        let mut g = Graph::new(&ps);
+        let xs = seq(&mut g, 5, 3);
+        let hs = gru.forward(&mut g, &xs);
+        assert_eq!(hs.len(), 5);
+        for &h in &hs {
+            assert_eq!(g.value(h).shape(), (1, 6));
+        }
+    }
+
+    #[test]
+    fn hidden_values_bounded() {
+        // h is a convex combination of tanh outputs, so |h| < 1.
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(37);
+        let gru = Gru::new(&mut ps, &mut rng, "g", 2, 4);
+        let mut g = Graph::new(&ps);
+        let xs = seq(&mut g, 30, 2);
+        for &h in &gru.forward(&mut g, &xs) {
+            assert!(g.value(h).data().iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let gru = Gru::new(&mut ps, &mut rng, "g", 2, 3);
+        let mut g = Graph::new(&ps);
+        let _ = gru.forward(&mut g, &[]);
+    }
+
+    #[test]
+    fn gradcheck_through_time() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let gru = Gru::new(&mut ps, &mut rng, "g", 2, 3);
+        for target in [gru.wx, gru.wh, gru.b] {
+            let l = gru.clone();
+            gradcheck(&mut ps.clone(), target, 1e-2, 3e-2, move |g| {
+                let xs = seq(g, 4, 2);
+                let hs = l.forward(g, &xs);
+                let last = *hs.last().unwrap();
+                let sq = g.mul(last, last);
+                g.sum_all(sq)
+            });
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Long short-term memory recurrence (Hochreiter & Schmidhuber 1997), the
+//! paper's Equation (2).
+
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+use crate::tape::{Graph, Var};
+use rand::Rng;
+
+/// A single-direction LSTM.
+///
+/// Gate layout in the fused weight matrices is `[i | f | g | o]` (input,
+/// forget, cell candidate, output). The forget-gate bias is initialised to 1,
+/// the standard trick that lets gradients flow through long sequences early in
+/// training.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Registers an LSTM with `in_dim` inputs and `hidden` units under `name`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Self {
+        let wx = ps.register(format!("{name}.wx"), xavier_uniform(rng, in_dim, 4 * hidden));
+        let wh = ps.register(format!("{name}.wh"), xavier_uniform(rng, hidden, 4 * hidden));
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0); // forget gate
+        }
+        let b = ps.register(format!("{name}.b"), bias);
+        Self {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero-valued initial `(h, c)` state.
+    pub fn zero_state(&self, g: &mut Graph) -> (Var, Var) {
+        let h = g.constant(Matrix::zeros(1, self.hidden));
+        let c = g.constant(Matrix::zeros(1, self.hidden));
+        (h, c)
+    }
+
+    /// One recurrence step: consumes `x` (1×in_dim) and state, returns the new
+    /// `(h, c)`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var, c: Var) -> (Var, Var) {
+        debug_assert_eq!(g.value(x).shape(), (1, self.in_dim), "lstm input shape");
+        let wx = g.param(self.wx);
+        let wh = g.param(self.wh);
+        let b = g.param(self.b);
+        let gx = g.matmul(x, wx);
+        let gh = g.matmul(h, wh);
+        let pre = g.add(gx, gh);
+        let pre = g.add_row_broadcast(pre, b);
+        let hsz = self.hidden;
+        let i_pre = g.slice_cols(pre, 0, hsz);
+        let f_pre = g.slice_cols(pre, hsz, 2 * hsz);
+        let g_pre = g.slice_cols(pre, 2 * hsz, 3 * hsz);
+        let o_pre = g.slice_cols(pre, 3 * hsz, 4 * hsz);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let cand = g.tanh(g_pre);
+        let o = g.sigmoid(o_pre);
+        let fc = g.mul(f, c);
+        let ig = g.mul(i, cand);
+        let c_new = g.add(fc, ig);
+        let c_act = g.tanh(c_new);
+        let h_new = g.mul(o, c_act);
+        (h_new, c_new)
+    }
+
+    /// Runs the recurrence over a sequence of 1×in_dim nodes, returning every
+    /// hidden state (one per step).
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty: the LEAD data model guarantees every stay
+    /// point and move point sequence is non-empty.
+    pub fn forward(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
+        assert!(!xs.is_empty(), "LSTM over an empty sequence");
+        let (mut h, mut c) = self.zero_state(g);
+        let mut hs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let (h2, c2) = self.step(g, x, h, c);
+            h = h2;
+            c = c2;
+            hs.push(h);
+        }
+        hs
+    }
+
+    /// Runs the recurrence feeding the *same* input vector at every one of
+    /// `steps` steps — the paper's decompression operator (Equation (5)),
+    /// which unrolls a compressed vector back into a sequence.
+    pub fn forward_repeated(&self, g: &mut Graph, x: Var, steps: usize) -> Vec<Var> {
+        assert!(steps > 0, "decompression over zero steps");
+        let (mut h, mut c) = self.zero_state(g);
+        let mut hs = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let (h2, c2) = self.step(g, x, h, c);
+            h = h2;
+            c = c2;
+            hs.push(h);
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(g: &mut Graph, t: usize, d: usize) -> Vec<Var> {
+        (0..t)
+            .map(|i| {
+                g.constant(Matrix::from_fn(1, d, |_, c| {
+                    ((i * d + c) as f32 * 0.13).sin() * 0.5
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_emits_one_hidden_per_step() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 3, 5);
+        let mut g = Graph::new(&ps);
+        let xs = seq(&mut g, 7, 3);
+        let hs = lstm.forward(&mut g, &xs);
+        assert_eq!(hs.len(), 7);
+        for &h in &hs {
+            assert_eq!(g.value(h).shape(), (1, 5));
+        }
+    }
+
+    #[test]
+    fn hidden_values_bounded_by_one() {
+        // h = o·tanh(c), both factors in (-1, 1)·(0, 1).
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 2, 4);
+        let mut g = Graph::new(&ps);
+        let xs = seq(&mut g, 20, 2);
+        let hs = lstm.forward(&mut g, &xs);
+        for &h in &hs {
+            assert!(g.value(h).data().iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 2, 3);
+        let b = ps.value(lstm.b);
+        assert_eq!(b.slice_cols(3, 6).data(), &[1.0, 1.0, 1.0]);
+        assert_eq!(b.slice_cols(0, 3).data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(19);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 2, 3);
+        let mut g = Graph::new(&ps);
+        let _ = lstm.forward(&mut g, &[]);
+    }
+
+    #[test]
+    fn forward_repeated_emits_requested_steps() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 4, 3);
+        let mut g = Graph::new(&ps);
+        let x = g.constant(Matrix::full(1, 4, 0.3));
+        let hs = lstm.forward_repeated(&mut g, x, 5);
+        assert_eq!(hs.len(), 5);
+        // Steps differ because the state evolves.
+        assert_ne!(g.value(hs[0]).data(), g.value(hs[4]).data());
+    }
+
+    #[test]
+    fn gradcheck_through_time() {
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        let lstm = Lstm::new(&mut ps, &mut rng, "l", 2, 3);
+        for target in [lstm.wx, lstm.wh, lstm.b] {
+            let l = lstm.clone();
+            gradcheck(&mut ps.clone(), target, 1e-2, 3e-2, move |g| {
+                let xs = seq(g, 4, 2);
+                let hs = l.forward(g, &xs);
+                let last = *hs.last().unwrap();
+                let sq = g.mul(last, last);
+                g.sum_all(sq)
+            });
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Finite-difference gradient checking, shared by this crate's tests and by
+//! downstream crates verifying their model wiring.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+use crate::tape::{Graph, Var};
+
+/// Verifies the analytic gradient of `build`'s scalar output with respect to
+/// parameter `target` against central finite differences.
+///
+/// `build` must construct the same computation every call (it is re-run with
+/// perturbed parameter values). `eps` is the perturbation size; `tol` the
+/// allowed relative error per entry (absolute for near-zero gradients).
+///
+/// # Panics
+/// Panics with a diagnostic message on the first mismatching entry.
+pub fn gradcheck<F>(params: &mut ParamSet, target: ParamId, eps: f32, tol: f32, build: F)
+where
+    F: Fn(&mut Graph) -> Var,
+{
+    // Analytic gradient at the current parameter values.
+    let analytic = {
+        let mut g = Graph::new(params);
+        let loss = build(&mut g);
+        let grads = g.backward(loss);
+        grads.get(target).clone()
+    };
+
+    let (rows, cols) = params.value(target).shape();
+    let mut numeric = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let orig = params.value(target).at(r, c);
+
+            params.value_mut(target).set(r, c, orig + eps);
+            let lp = eval_loss(params, &build);
+            params.value_mut(target).set(r, c, orig - eps);
+            let lm = eval_loss(params, &build);
+            params.value_mut(target).set(r, c, orig);
+
+            numeric.set(r, c, (lp - lm) / (2.0 * eps));
+        }
+    }
+
+    for r in 0..rows {
+        for c in 0..cols {
+            let a = analytic.at(r, c);
+            let n = numeric.at(r, c);
+            let denom = a.abs().max(n.abs()).max(1.0);
+            let rel = (a - n).abs() / denom;
+            assert!(
+                rel <= tol,
+                "gradcheck failed at ({r},{c}): analytic={a} numeric={n} rel={rel}"
+            );
+        }
+    }
+}
+
+fn eval_loss<F>(params: &ParamSet, build: &F) -> f32
+where
+    F: Fn(&mut Graph) -> Var,
+{
+    let mut g = Graph::new(params);
+    let loss = build(&mut g);
+    g.scalar(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradcheck_passes_on_simple_quadratic() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::from_vec(1, 2, vec![0.5, -0.3]));
+        gradcheck(&mut ps, w, 1e-3, 1e-3, |g| {
+            let wv = g.param(w);
+            let sq = g.mul(wv, wv);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradcheck failed")]
+    fn gradcheck_catches_wrong_gradient() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::from_vec(1, 1, vec![0.7]));
+        // loss value is w^2 but the recorded op chain computes 3·w (different
+        // gradient), simulated by building a graph whose loss ignores part of
+        // the dependency: scale has gradient 3, numeric sees 2w = 1.4.
+        gradcheck(&mut ps, w, 1e-3, 1e-3, |g| {
+            let wv = g.param(w);
+            // Analytic path: d(3w)/dw = 3; numeric path recomputes 3w too, so
+            // to force a mismatch we compare against a *different* function of
+            // the parameter value injected as a constant.
+            let huge = g.scale(wv, 3.0);
+            let c = g.constant(Matrix::from_vec(1, 1, vec![g.value(wv).at(0, 0).powi(2)]));
+            let diff = g.mul(huge, c);
+            g.sum_all(diff)
+        });
+    }
+}

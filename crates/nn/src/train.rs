@@ -1,0 +1,235 @@
+//! Training-loop helpers: gradient accumulation over consecutive samples and
+//! early stopping.
+//!
+//! The paper trains with batch size 1 (inputs have variable shapes) but
+//! back-propagates the *average* loss of `B = 64` consecutive samples as one
+//! optimiser step. [`AccumTrainer`] reproduces that exactly: submit one
+//! gradient per sample; every `B` submissions the mean gradient (optionally
+//! clipped) is applied.
+
+use crate::optim::Adam;
+use crate::params::{Gradients, ParamSet};
+
+/// Accumulates per-sample gradients and steps the optimiser every
+/// `batch` submissions with the batch-mean gradient.
+#[derive(Debug)]
+pub struct AccumTrainer {
+    opt: Adam,
+    batch: usize,
+    clip_norm: Option<f32>,
+    acc: Option<Gradients>,
+    pending: usize,
+}
+
+impl AccumTrainer {
+    /// Creates a trainer stepping every `batch` samples.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn new(opt: Adam, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        Self {
+            opt,
+            batch,
+            clip_norm: None,
+            acc: None,
+            pending: 0,
+        }
+    }
+
+    /// Enables global-norm gradient clipping at `max_norm` before each step.
+    pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "clip norm must be positive");
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// Number of optimiser steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.opt.steps()
+    }
+
+    /// Submits one sample's gradients; steps the optimiser when the batch
+    /// fills.
+    pub fn submit(&mut self, params: &mut ParamSet, grads: Gradients) {
+        match &mut self.acc {
+            Some(acc) => acc.accumulate(&grads),
+            None => self.acc = Some(grads),
+        }
+        self.pending += 1;
+        if self.pending >= self.batch {
+            self.apply(params);
+        }
+    }
+
+    /// Applies any partially filled batch (end of epoch).
+    pub fn flush(&mut self, params: &mut ParamSet) {
+        if self.pending > 0 {
+            self.apply(params);
+        }
+    }
+
+    fn apply(&mut self, params: &mut ParamSet) {
+        let mut acc = self.acc.take().expect("pending>0 implies accumulator");
+        acc.scale(1.0 / self.pending as f32);
+        if let Some(max) = self.clip_norm {
+            acc.clip_global_norm(max);
+        }
+        self.opt.step(params, &acc);
+        self.pending = 0;
+    }
+}
+
+/// Early stopping on a validation (or training) loss (Caruana et al. 2000),
+/// the paper's overfitting guard.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    best_epoch: usize,
+    epochs_seen: usize,
+    bad_streak: usize,
+}
+
+impl EarlyStopping {
+    /// Stops after `patience` consecutive epochs without improving the best
+    /// loss by at least `min_delta`.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        Self {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            best_epoch: 0,
+            epochs_seen: 0,
+            bad_streak: 0,
+        }
+    }
+
+    /// Records one epoch's loss; returns `true` when training should stop.
+    pub fn observe(&mut self, loss: f32) -> bool {
+        self.epochs_seen += 1;
+        if loss < self.best - self.min_delta {
+            self.best = loss;
+            self.best_epoch = self.epochs_seen;
+            self.bad_streak = 0;
+        } else {
+            self.bad_streak += 1;
+        }
+        self.bad_streak >= self.patience
+    }
+
+    /// The best loss observed.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+
+    /// The 1-based epoch at which the best loss was observed (0 before any
+    /// observation).
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::tape::Graph;
+
+    #[test]
+    fn accum_trainer_steps_once_per_batch() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::zeros(1, 1));
+        let mut tr = AccumTrainer::new(Adam::new(&ps, 0.01), 4);
+        for i in 0..8 {
+            let mut g = ps.zero_gradients();
+            g.get_mut(w).data_mut()[0] = 1.0;
+            tr.submit(&mut ps, g);
+            let expect = (i + 1) / 4;
+            assert_eq!(tr.steps(), expect as u64, "after sample {i}");
+        }
+    }
+
+    #[test]
+    fn flush_applies_partial_batch() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::zeros(1, 1));
+        let mut tr = AccumTrainer::new(Adam::new(&ps, 0.01), 64);
+        let mut g = ps.zero_gradients();
+        g.get_mut(w).data_mut()[0] = 1.0;
+        tr.submit(&mut ps, g);
+        assert_eq!(tr.steps(), 0);
+        tr.flush(&mut ps);
+        assert_eq!(tr.steps(), 1);
+        tr.flush(&mut ps); // idempotent when nothing pending
+        assert_eq!(tr.steps(), 1);
+    }
+
+    #[test]
+    fn accumulated_mean_matches_single_large_batch() {
+        // Two samples with gradients 1 and 3 must step with mean 2.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::zeros(1, 1));
+        let mut tr = AccumTrainer::new(Adam::new(&ps, 0.01), 2);
+        for v in [1.0, 3.0] {
+            let mut g = ps.zero_gradients();
+            g.get_mut(w).data_mut()[0] = v;
+            tr.submit(&mut ps, g);
+        }
+        // Compare to Adam stepped directly with gradient 2.0 (first Adam step
+        // size depends only on sign for constant gradients, so compare values).
+        let mut ps2 = ParamSet::new();
+        let w2 = ps2.register("w", Matrix::zeros(1, 1));
+        let mut opt = Adam::new(&ps2, 0.01);
+        let mut g = ps2.zero_gradients();
+        g.get_mut(w2).data_mut()[0] = 2.0;
+        opt.step(&mut ps2, &g);
+        assert!((ps.value(w).at(0, 0) - ps2.value(w2).at(0, 0)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trainer_reduces_real_loss() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::from_vec(1, 2, vec![2.0, -2.0]));
+        let target = Matrix::from_vec(1, 2, vec![0.5, 0.5]);
+        let mut tr = AccumTrainer::new(Adam::new(&ps, 0.05), 8).with_clip_norm(5.0);
+        let loss_at = |ps: &ParamSet| {
+            let mut g = Graph::new(ps);
+            let wv = g.param(w);
+            let l = g.mse_loss(wv, &target);
+            g.scalar(l)
+        };
+        let before = loss_at(&ps);
+        for _ in 0..1600 {
+            let mut g = Graph::new(&ps);
+            let wv = g.param(w);
+            let l = g.mse_loss(wv, &target);
+            let grads = g.backward(l);
+            tr.submit(&mut ps, grads);
+        }
+        tr.flush(&mut ps);
+        assert!(loss_at(&ps) < before * 0.01);
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(3, 0.0);
+        assert!(!es.observe(1.0));
+        assert!(!es.observe(0.5)); // improvement
+        assert!(!es.observe(0.6));
+        assert!(!es.observe(0.7));
+        assert!(es.observe(0.8)); // third bad epoch
+        assert_eq!(es.best(), 0.5);
+        assert_eq!(es.best_epoch(), 2);
+    }
+
+    #[test]
+    fn early_stopping_min_delta_counts_tiny_gains_as_bad() {
+        let mut es = EarlyStopping::new(2, 0.1);
+        assert!(!es.observe(1.0));
+        assert!(!es.observe(0.99)); // gain < min_delta → bad epoch 1
+        assert!(es.observe(0.98)); // bad epoch 2 → stop
+    }
+}

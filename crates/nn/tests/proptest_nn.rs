@@ -1,0 +1,183 @@
+//! Property-based tests of the matrix kernels and the autodiff tape.
+
+use lead_nn::{Graph, Matrix, ParamSet};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -2.0..2.0f32
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(small_f32(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_and_right(m in matrix(3, 3)) {
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let left = m.matmul(&id);
+        let right = id.matmul(&m);
+        prop_assert_eq!(left.data(), m.data());
+        prop_assert_eq!(right.data(), m.data());
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(2, 3), b in matrix(2, 3), c in matrix(3, 2)) {
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(4, 3)) {
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(tt.data(), m.data());
+    }
+
+    #[test]
+    fn transpose_swaps_matmul(a in matrix(2, 3), b in matrix(3, 4)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution(m in matrix(3, 5)) {
+        let s = m.softmax_rows();
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(m in matrix(1, 6), shift in -5.0..5.0f32) {
+        let a = m.softmax_rows();
+        let b = m.map(|v| v + shift).softmax_rows();
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(a in matrix(2, 3), b in matrix(2, 4)) {
+        let c = Matrix::concat_cols(&[&a, &b]);
+        let (c0, c1) = (c.slice_cols(0, 3), c.slice_cols(3, 7));
+        prop_assert_eq!(c0.data(), a.data());
+        prop_assert_eq!(c1.data(), b.data());
+        let r = Matrix::concat_rows(&[&a, &a]);
+        let (r0, r1) = (r.slice_rows(0, 2), r.slice_rows(2, 4));
+        prop_assert_eq!(r0.data(), a.data());
+        prop_assert_eq!(r1.data(), a.data());
+    }
+
+    #[test]
+    fn tape_matches_hand_computed_chain(
+        x in matrix(1, 3),
+        w in matrix(3, 2),
+    ) {
+        // loss = sum(tanh(x·W)) computed by the tape equals the hand version.
+        let mut ps = ParamSet::new();
+        let wid = ps.register("w", w.clone());
+        let mut g = Graph::new(&ps);
+        let xv = g.constant(x.clone());
+        let wv = g.param(wid);
+        let y = g.matmul(xv, wv);
+        let t = g.tanh(y);
+        let loss = g.sum_all(t);
+        let expect: f32 = x.matmul(&w).data().iter().map(|v| v.tanh()).sum();
+        prop_assert!((g.scalar(loss) - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tape_gradient_matches_finite_differences_on_random_graph(
+        w0 in prop::collection::vec(-0.9..0.9f32, 6),
+    ) {
+        // A fixed op chain with random parameter values: gradcheck must pass.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::from_vec(2, 3, w0));
+        lead_nn::testing::gradcheck(&mut ps, w, 1e-2, 5e-2, |g| {
+            let wv = g.param(w);
+            let t = g.tanh(wv);
+            let s = g.sigmoid(wv);
+            let prod = g.mul(t, s);
+            let sm = g.softmax_rows(prod);
+            let c = g.constant(Matrix::from_fn(2, 3, |r, cc| (r + cc) as f32 * 0.5));
+            let weighted = g.mul(sm, c);
+            g.mean_all(weighted)
+        });
+    }
+
+    #[test]
+    fn kld_is_nonnegative(logits in prop::collection::vec(-3.0..3.0f32, 5)) {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let l = g.constant(Matrix::row_vector(logits));
+        let q = g.softmax_rows(l);
+        // A smoothed one-hot p.
+        let eps = 1e-5f32;
+        let mut p = vec![eps; 5];
+        p[2] = 1.0 - 4.0 * eps;
+        let loss = g.kld_loss(q, &Matrix::row_vector(p));
+        prop_assert!(g.scalar(loss) >= -1e-6);
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(m in matrix(2, 3)) {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let a = g.constant(m.clone());
+        let loss = g.mse_loss(a, &m);
+        prop_assert_eq!(g.scalar(loss), 0.0);
+        let shifted = m.map(|v| v + 0.5);
+        let mut g2 = Graph::new(&ps);
+        let a2 = g2.constant(m.clone());
+        let loss2 = g2.mse_loss(a2, &shifted);
+        prop_assert!((g2.scalar(loss2) - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_accumulate_linearly(v in small_f32()) {
+        // d(a·w + b·w)/dw = a + b for scalars.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Matrix::from_vec(1, 1, vec![v]));
+        let mut g = Graph::new(&ps);
+        let wv = g.param(w);
+        let s1 = g.scale(wv, 2.0);
+        let s2 = g.scale(wv, 3.0);
+        let sum = g.add(s1, s2);
+        let loss = g.sum_all(sum);
+        let grads = g.backward(loss);
+        prop_assert!((grads.get(w).at(0, 0) - 5.0).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #[test]
+    fn param_io_roundtrip_random_values(
+        vals in prop::collection::vec(prop::num::f32::NORMAL | prop::num::f32::ZERO, 12),
+    ) {
+        use lead_nn::io::{read_params, write_params};
+        let mut src = ParamSet::new();
+        src.register("a", Matrix::from_vec(3, 2, vals[..6].to_vec()));
+        src.register("b", Matrix::from_vec(2, 3, vals[6..].to_vec()));
+        let mut buf = Vec::new();
+        write_params(&src, &mut buf).unwrap();
+
+        let mut dst = ParamSet::new();
+        dst.register("a", Matrix::zeros(3, 2));
+        dst.register("b", Matrix::zeros(2, 3));
+        read_params(&mut dst, &mut buf.as_slice()).unwrap();
+        for (id, value) in src.iter() {
+            let got: Vec<u32> = dst.value(id).data().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = value.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! The synthetic city: urban core, industrial zones, sites, and the POI
+//! database.
+//!
+//! Layout principles (mirroring a chemicals-industry prefecture like
+//! Nantong):
+//! - an **urban core** disc at the center — dense ordinary POIs, no chemical
+//!   sites, off-limits to loaded trucks;
+//! - several **industrial zones** in a ring outside the core hosting loading
+//!   sites, many unloading sites, and *also* some break sites (so an
+//!   industrial-looking POI context does not imply loading — the paper's
+//!   complex staying scenarios);
+//! - **fueling stations** scattered along the ring and periphery, serving as
+//!   both loading sites for fuel tankers and break spots for every driver;
+//! - each site gets a small POI *context cluster* so that LEAD's 100 m POI
+//!   counts are informative.
+
+use crate::config::SynthConfig;
+use crate::poi::{Poi, PoiCategory, PoiDatabase};
+use crate::rand_util::{randn, uniform_f64};
+use lead_geo::{BoundingBox, LocalProjection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named location trucks can drive to, in both local meters and WGS84.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Site {
+    /// East offset from the city center, meters.
+    pub x: f64,
+    /// North offset from the city center, meters.
+    pub y: f64,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lng: f64,
+    /// The POI category of the site itself.
+    pub category: PoiCategory,
+}
+
+/// The generated city.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Extent of the city.
+    pub bbox: BoundingBox,
+    /// Local meter projection anchored at the city center.
+    pub proj: LocalProjection,
+    /// Radius of the urban core around `(0, 0)` in meters.
+    pub core_radius_m: f64,
+    /// All POIs, radius-queryable.
+    pub poi_db: PoiDatabase,
+    /// Loading-capable sites (includes fueling stations for fuel tankers).
+    pub loading_sites: Vec<Site>,
+    /// Unloading-capable sites.
+    pub unloading_sites: Vec<Site>,
+    /// Fueling stations (subset view; also present in `loading_sites`).
+    pub fueling_sites: Vec<Site>,
+    /// Break-friendly ordinary sites.
+    pub break_sites: Vec<Site>,
+    /// Truck depots.
+    pub depots: Vec<Site>,
+}
+
+impl City {
+    /// Generates a city from `config` (deterministic in `config.seed`).
+    pub fn generate(config: &SynthConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let proj = LocalProjection::new(config.city_center.0, config.city_center.1);
+        let half = config.city_half_extent_m;
+        let core_r = config.urban_core_radius_m;
+
+        let (min_lat, min_lng) = proj.to_latlng(-half, -half);
+        let (max_lat, max_lng) = proj.to_latlng(half, half);
+        let bbox = BoundingBox::new(min_lat.min(max_lat), min_lng.min(max_lng),
+                                    min_lat.max(max_lat), min_lng.max(max_lng));
+
+        // Industrial zone centers: a ring between the core and the edge.
+        let zone_ring = (core_r * 1.6, half * 0.85);
+        let zones: Vec<(f64, f64)> = (0..config.num_industrial_zones)
+            .map(|i| {
+                let angle = i as f64 / config.num_industrial_zones as f64
+                    * std::f64::consts::TAU
+                    + rng.gen_range(-0.3..0.3);
+                let r = uniform_f64(&mut rng, zone_ring);
+                (r * angle.cos(), r * angle.sin())
+            })
+            .collect();
+
+        let mut pois: Vec<Poi> = Vec::new();
+        let make_site = |x: f64, y: f64, category: PoiCategory, pois: &mut Vec<Poi>| {
+            let (lat, lng) = proj.to_latlng(x, y);
+            pois.push(Poi { lat, lng, category });
+            Site { x, y, lat, lng, category }
+        };
+
+        // Context POIs sprinkled around a site so 100 m POI counts are
+        // informative about the site's character.
+        let sprinkle = |rng: &mut StdRng, x: f64, y: f64, cats: &[PoiCategory],
+                            n: usize, spread_m: f64, pois: &mut Vec<Poi>| {
+            for _ in 0..n {
+                let dx = randn(rng) * spread_m;
+                let dy = randn(rng) * spread_m;
+                let (lat, lng) = proj.to_latlng(x + dx, y + dy);
+                let category = cats[rng.gen_range(0..cats.len())];
+                pois.push(Poi { lat, lng, category });
+            }
+        };
+
+        let industrial_context = [
+            PoiCategory::Factory,
+            PoiCategory::Company,
+            PoiCategory::ChemicalWarehouse,
+            PoiCategory::LogisticsCenter,
+            PoiCategory::IndustrialPark,
+        ];
+        let urban_context = [
+            PoiCategory::Restaurant,
+            PoiCategory::Supermarket,
+            PoiCategory::Residential,
+            PoiCategory::School,
+            PoiCategory::Company,
+            PoiCategory::BusStation,
+            PoiCategory::Government,
+            PoiCategory::Park,
+        ];
+
+        // Loading sites live inside industrial zones.
+        let loading_cats = [
+            PoiCategory::ChemicalFactory,
+            PoiCategory::OilDepot,
+            PoiCategory::Port,
+            PoiCategory::FuelStorage,
+            PoiCategory::ChemicalWarehouse,
+        ];
+        let mut loading_sites = Vec::with_capacity(config.num_loading_sites);
+        for i in 0..config.num_loading_sites {
+            let (zx, zy) = zones[i % zones.len()];
+            let x = zx + randn(&mut rng) * 1_400.0;
+            let y = zy + randn(&mut rng) * 1_400.0;
+            let cat = loading_cats[rng.gen_range(0..loading_cats.len())];
+            let site = make_site(x, y, cat, &mut pois);
+            let n_ctx = rng.gen_range(3..8);
+            sprinkle(&mut rng, x, y, &industrial_context, n_ctx, 70.0, &mut pois);
+            loading_sites.push(site);
+        }
+
+        // Unloading sites: most in/near industrial zones, some spread wide
+        // (construction sites, hospitals at the core boundary).
+        let unloading_cats = [
+            PoiCategory::Factory,
+            PoiCategory::Hospital,
+            PoiCategory::ConstructionSite,
+            PoiCategory::PowerPlant,
+            PoiCategory::IndustrialPark,
+            PoiCategory::WaterTreatmentPlant,
+            PoiCategory::SteelMill,
+            PoiCategory::PharmaceuticalPlant,
+            PoiCategory::PaperMill,
+        ];
+        let mut unloading_sites = Vec::with_capacity(config.num_unloading_sites);
+        for i in 0..config.num_unloading_sites {
+            let (x, y) = if i % 3 == 0 {
+                // Spread anywhere outside the core.
+                sample_outside_core(&mut rng, half, core_r * 1.15)
+            } else {
+                let (zx, zy) = zones[i % zones.len()];
+                (zx + randn(&mut rng) * 2_200.0, zy + randn(&mut rng) * 2_200.0)
+            };
+            let (x, y) = push_outside_core(x, y, core_r * 1.15);
+            let cat = unloading_cats[rng.gen_range(0..unloading_cats.len())];
+            let site = make_site(x, y, cat, &mut pois);
+            let n_ctx = rng.gen_range(2..6);
+            sprinkle(&mut rng, x, y, &industrial_context, n_ctx, 70.0, &mut pois);
+            unloading_sites.push(site);
+        }
+
+        // Fueling stations: along the ring and periphery; dual-use.
+        let mut fueling_sites = Vec::with_capacity(config.num_fueling_stations);
+        for _ in 0..config.num_fueling_stations {
+            let (x, y) = sample_outside_core(&mut rng, half, core_r * 1.05);
+            let site = make_site(x, y, PoiCategory::FuelingStation, &mut pois);
+            // Fueling stations look like fueling stations everywhere: a shop,
+            // a parking lot, sometimes a restaurant.
+            let n_ctx = rng.gen_range(1..4);
+            sprinkle(
+                &mut rng,
+                x,
+                y,
+                &[PoiCategory::ParkingLot, PoiCategory::Supermarket, PoiCategory::Restaurant],
+                n_ctx,
+                60.0,
+                &mut pois,
+            );
+            fueling_sites.push(site);
+        }
+
+        // Break sites: half near industrial zones (ambiguous context!), half
+        // spread across the city.
+        let break_cats = [
+            PoiCategory::Restaurant,
+            PoiCategory::RestArea,
+            PoiCategory::ParkingLot,
+            PoiCategory::Hotel,
+        ];
+        let mut break_sites = Vec::with_capacity(config.num_break_sites);
+        for i in 0..config.num_break_sites {
+            let industrial = rng.gen_bool(config.industrial_break_fraction);
+            let (x, y) = if industrial {
+                let (zx, zy) = zones[i % zones.len()];
+                (zx + randn(&mut rng) * 1_800.0, zy + randn(&mut rng) * 1_800.0)
+            } else {
+                sample_outside_core(&mut rng, half, core_r * 1.05)
+            };
+            let (x, y) = push_outside_core(x, y, core_r * 1.05);
+            let cat = break_cats[rng.gen_range(0..break_cats.len())];
+            let site = make_site(x, y, cat, &mut pois);
+            let n_ctx = rng.gen_range(1..5);
+            if industrial {
+                // Industrial-adjacent breaks inherit industrial POI context —
+                // the stay point alone cannot tell them from loading stops.
+                sprinkle(&mut rng, x, y, &industrial_context, n_ctx, 80.0, &mut pois);
+            } else {
+                sprinkle(&mut rng, x, y, &urban_context[..6], n_ctx, 80.0, &mut pois);
+            }
+            break_sites.push(site);
+        }
+
+        // Depots: periphery.
+        let mut depots = Vec::with_capacity(config.num_depots);
+        for _ in 0..config.num_depots {
+            let (x, y) = sample_outside_core(&mut rng, half, core_r * 1.3);
+            let site = make_site(x, y, PoiCategory::TruckDepot, &mut pois);
+            let n_ctx = rng.gen_range(2..5);
+            sprinkle(
+                &mut rng,
+                x,
+                y,
+                &[PoiCategory::ParkingLot, PoiCategory::RepairShop, PoiCategory::LogisticsCenter],
+                n_ctx,
+                60.0,
+                &mut pois,
+            );
+            depots.push(site);
+        }
+
+        // Background urban clutter: dense inside the core, sparse outside.
+        for _ in 0..config.num_background_pois {
+            let (x, y) = if rng.gen_bool(0.55) {
+                // Urban core.
+                let r = core_r * rng.gen_range(0.0f64..1.0).sqrt();
+                let a = rng.gen_range(0.0..std::f64::consts::TAU);
+                (r * a.cos(), r * a.sin())
+            } else {
+                (rng.gen_range(-half..half), rng.gen_range(-half..half))
+            };
+            let (lat, lng) = proj.to_latlng(x, y);
+            let category = urban_context[rng.gen_range(0..urban_context.len())];
+            pois.push(Poi { lat, lng, category });
+        }
+
+        City {
+            bbox,
+            proj,
+            core_radius_m: core_r,
+            poi_db: PoiDatabase::new(pois),
+            loading_sites,
+            unloading_sites,
+            fueling_sites,
+            break_sites,
+            depots,
+        }
+    }
+
+    /// Whether local point `(x, y)` lies inside the urban core.
+    pub fn in_core(&self, x: f64, y: f64) -> bool {
+        x * x + y * y < self.core_radius_m * self.core_radius_m
+    }
+}
+
+/// Uniform sample in the square of half-extent `half`, rejecting the disc of
+/// radius `min_r` around the origin.
+fn sample_outside_core<R: Rng>(rng: &mut R, half: f64, min_r: f64) -> (f64, f64) {
+    loop {
+        let x = rng.gen_range(-half..half);
+        let y = rng.gen_range(-half..half);
+        if x * x + y * y >= min_r * min_r {
+            return (x, y);
+        }
+    }
+}
+
+/// Radially pushes `(x, y)` out of the disc of radius `min_r` if inside.
+fn push_outside_core(x: f64, y: f64, min_r: f64) -> (f64, f64) {
+    let r = (x * x + y * y).sqrt();
+    if r >= min_r {
+        return (x, y);
+    }
+    if r < 1.0 {
+        return (min_r, 0.0);
+    }
+    (x / r * min_r, y / r * min_r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city() -> City {
+        City::generate(&SynthConfig::tiny())
+    }
+
+    #[test]
+    fn site_counts_match_config() {
+        let cfg = SynthConfig::tiny();
+        let c = City::generate(&cfg);
+        assert_eq!(c.loading_sites.len(), cfg.num_loading_sites);
+        assert_eq!(c.unloading_sites.len(), cfg.num_unloading_sites);
+        assert_eq!(c.fueling_sites.len(), cfg.num_fueling_stations);
+        assert_eq!(c.break_sites.len(), cfg.num_break_sites);
+        assert_eq!(c.depots.len(), cfg.num_depots);
+        assert!(c.poi_db.len() > cfg.num_background_pois);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = city();
+        let b = city();
+        assert_eq!(a.loading_sites, b.loading_sites);
+        assert_eq!(a.poi_db.len(), b.poi_db.len());
+    }
+
+    #[test]
+    fn no_hct_sites_inside_core() {
+        let c = city();
+        for s in c
+            .loading_sites
+            .iter()
+            .chain(&c.unloading_sites)
+            .chain(&c.fueling_sites)
+            .chain(&c.depots)
+        {
+            assert!(!c.in_core(s.x, s.y), "site {s:?} inside core");
+        }
+    }
+
+    #[test]
+    fn sites_carry_consistent_coordinates() {
+        let c = city();
+        for s in c.loading_sites.iter().chain(&c.break_sites) {
+            let (lat, lng) = c.proj.to_latlng(s.x, s.y);
+            assert!((lat - s.lat).abs() < 1e-9 && (lng - s.lng).abs() < 1e-9);
+            assert!(c.bbox.expanded(0.05).contains(s.lat, s.lng));
+        }
+    }
+
+    #[test]
+    fn loading_sites_have_industrial_poi_context() {
+        let c = city();
+        let mut with_context = 0;
+        for s in &c.loading_sites {
+            let counts = c.poi_db.category_counts_within(s.lat, s.lng, 150.0);
+            let industrial: u32 = [
+                PoiCategory::ChemicalFactory,
+                PoiCategory::Factory,
+                PoiCategory::Company,
+                PoiCategory::ChemicalWarehouse,
+                PoiCategory::LogisticsCenter,
+                PoiCategory::IndustrialPark,
+                PoiCategory::OilDepot,
+                PoiCategory::Port,
+                PoiCategory::FuelStorage,
+            ]
+            .iter()
+            .map(|c| counts[c.index()])
+            .sum();
+            if industrial >= 2 {
+                with_context += 1;
+            }
+        }
+        assert!(
+            with_context * 10 >= c.loading_sites.len() * 8,
+            "most loading sites must have industrial context: {with_context}/{}",
+            c.loading_sites.len()
+        );
+    }
+
+    #[test]
+    fn push_outside_core_is_idempotent_outside() {
+        assert_eq!(push_outside_core(5000.0, 0.0, 1000.0), (5000.0, 0.0));
+        let (x, y) = push_outside_core(10.0, 10.0, 1000.0);
+        assert!((x * x + y * y).sqrt() >= 999.9);
+        assert_eq!(push_outside_core(0.0, 0.0, 1000.0), (1000.0, 0.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Small sampling helpers shared by the generator modules.
+
+use rand::Rng;
+
+/// Standard normal sample via Box–Muller.
+pub(crate) fn randn<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform `i64` in the inclusive range `(lo, hi)`.
+pub(crate) fn uniform_i64<R: Rng>(rng: &mut R, range: (i64, i64)) -> i64 {
+    if range.0 >= range.1 {
+        return range.0;
+    }
+    rng.gen_range(range.0..=range.1)
+}
+
+/// Uniform `f64` in `[lo, hi)`.
+pub(crate) fn uniform_f64<R: Rng>(rng: &mut R, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        return range.0;
+    }
+    rng.gen_range(range.0..range.1)
+}
+
+/// Samples an index according to (not necessarily normalised) weights.
+pub(crate) fn weighted_index<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must have positive mass");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_i64_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(uniform_i64(&mut rng, (5, 5)), 5);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[0.2, 0.3, 0.5])] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.2).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.5).abs() < 0.02);
+    }
+}

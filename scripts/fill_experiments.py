@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Injects measured results from results/ into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/fill_experiments.py
+Idempotent: placeholders are HTML comments that stay in place; the measured
+blocks are inserted/updated right after them.
+"""
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXP = ROOT / "EXPERIMENTS.md"
+RESULTS = ROOT / "results"
+
+
+def code_block(text: str) -> str:
+    return "```text\n" + text.rstrip() + "\n```"
+
+
+def curve_summary(csv_path: Path) -> str:
+    """Per-series min/argmin/epochs from a curve CSV."""
+    series = {}
+    for line in csv_path.read_text().splitlines()[1:]:
+        name, epoch, loss = line.rsplit(",", 2)
+        series.setdefault(name, []).append(float(loss))
+    lines = []
+    for name, curve in series.items():
+        mn = min(curve)
+        arg = curve.index(mn) + 1
+        lines.append(
+            f"{name}: min {mn:.4f} at epoch {arg} (of {len(curve)}); "
+            f"start {curve[0]:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def inject(content: str, marker: str, block: str) -> str:
+    """Replace whatever follows `marker` up to the next heading/marker."""
+    pattern = re.compile(
+        re.escape(marker) + r"\n(?:```text\n.*?\n```\n?)?", re.DOTALL
+    )
+    return pattern.sub(marker + "\n" + block + "\n", content, count=1)
+
+
+def main() -> None:
+    content = EXP.read_text()
+
+    fills = {
+        "<!-- TABLE3_MEASURED -->": RESULTS / "table3_quick.txt",
+        "<!-- TABLE4_MEASURED -->": RESULTS / "table4_quick.txt",
+        "<!-- FIG8_MEASURED -->": RESULTS / "fig8_quick.txt",
+        "<!-- IOU_MEASURED -->": RESULTS / "iou_quick.txt",
+    }
+    for marker, path in fills.items():
+        if path.exists():
+            content = inject(content, marker, code_block(path.read_text()))
+        else:
+            print(f"[skip] {path} not found")
+
+    for marker, path in {
+        "<!-- FIG9_MEASURED -->": RESULTS / "fig9_quick.csv",
+        "<!-- FIG10_MEASURED -->": RESULTS / "fig10_quick.csv",
+    }.items():
+        if path.exists():
+            content = inject(content, marker, code_block(curve_summary(path)))
+        else:
+            print(f"[skip] {path} not found")
+
+    EXP.write_text(content)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+//! Dataset-directory layout used by the CLI.
+//!
+//! ```text
+//! <dir>/
+//!   pois.csv          lat,lng,category          (29-category taxonomy names)
+//!   train.csv         truck_id,timestamp_s,lat,lng
+//!   val.csv           "
+//!   test.csv          "
+//!   truth_train.csv   seq,truck_id,load_start_s,load_end_s,unload_start_s,unload_end_s
+//!   truth_val.csv     "
+//!   truth_test.csv    "
+//! ```
+//!
+//! `seq` is the 0-based position of the trajectory within its split file, so
+//! labels stay attached without requiring unique (truck, day) keys.
+
+use lead::core::label::TruthLabel;
+use lead::core::pipeline::TrainSample;
+use lead::core::poi::{Poi, PoiCategory, PoiDatabase};
+use lead::geo::csv::{read_trajectories, write_trajectories};
+use lead::geo::Trajectory;
+use lead::synth::Sample;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// One split loaded from disk.
+#[derive(Debug, Clone)]
+pub struct LoadedSplit {
+    /// Truck ids, aligned with `samples`.
+    pub truck_ids: Vec<u32>,
+    /// Raw trajectory + ground truth per sample.
+    pub samples: Vec<TrainSample>,
+}
+
+/// Writes the POI database.
+pub fn write_pois(db: &PoiDatabase, path: &Path) -> std::io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "lat,lng,category")?;
+    for poi in db.iter() {
+        writeln!(w, "{:.7},{:.7},{}", poi.lat, poi.lng, poi.category.name())?;
+    }
+    Ok(())
+}
+
+/// Reads a POI database written by [`write_pois`].
+pub fn read_pois(path: &Path) -> Result<PoiDatabase, String> {
+    let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut pois = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{}: {e}", path.display()))?;
+        if idx == 0 {
+            if line.trim() != "lat,lng,category" {
+                return Err(format!("{}: bad header", path.display()));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.trim().split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!("{}: line {}: expected 3 fields", path.display(), idx + 1));
+        }
+        let lat: f64 = parts[0]
+            .parse()
+            .map_err(|e| format!("line {}: bad lat: {e}", idx + 1))?;
+        let lng: f64 = parts[1]
+            .parse()
+            .map_err(|e| format!("line {}: bad lng: {e}", idx + 1))?;
+        let category = PoiCategory::from_name(parts[2])
+            .ok_or_else(|| format!("line {}: unknown category `{}`", idx + 1, parts[2]))?;
+        pois.push(Poi { lat, lng, category });
+    }
+    Ok(PoiDatabase::new(pois))
+}
+
+/// Writes one split (trajectories + truth) from synthetic samples.
+pub fn write_split(samples: &[Sample], dir: &Path, split: &str) -> std::io::Result<()> {
+    let items: Vec<(u32, &Trajectory)> =
+        samples.iter().map(|s| (s.truck_id, &s.raw)).collect();
+    let mut w = BufWriter::new(File::create(dir.join(format!("{split}.csv")))?);
+    write_trajectories(&items, &mut w)?;
+
+    let mut w = BufWriter::new(File::create(dir.join(format!("truth_{split}.csv")))?);
+    writeln!(
+        w,
+        "seq,truck_id,load_start_s,load_end_s,unload_start_s,unload_end_s"
+    )?;
+    for (seq, s) in samples.iter().enumerate() {
+        writeln!(
+            w,
+            "{seq},{},{},{},{},{}",
+            s.truck_id,
+            s.truth.load_start_s,
+            s.truth.load_end_s,
+            s.truth.unload_start_s,
+            s.truth.unload_end_s
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads one split back.
+pub fn read_split(dir: &Path, split: &str) -> Result<LoadedSplit, String> {
+    let tr_path = dir.join(format!("{split}.csv"));
+    let file = File::open(&tr_path).map_err(|e| format!("{}: {e}", tr_path.display()))?;
+    let trajectories =
+        read_trajectories(&mut BufReader::new(file)).map_err(|e| format!("{}: {e}", tr_path.display()))?;
+
+    let truth_path = dir.join(format!("truth_{split}.csv"));
+    let file = File::open(&truth_path).map_err(|e| format!("{}: {e}", truth_path.display()))?;
+    let mut truths: Vec<(usize, u32, TruthLabel)> = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{}: {e}", truth_path.display()))?;
+        if idx == 0 {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.trim().split(',').collect();
+        if parts.len() != 6 {
+            return Err(format!("{}: line {}: expected 6 fields", truth_path.display(), idx + 1));
+        }
+        let nums: Result<Vec<i64>, _> = parts.iter().map(|p| p.parse::<i64>()).collect();
+        let nums = nums.map_err(|e| format!("line {}: {e}", idx + 1))?;
+        truths.push((
+            nums[0] as usize,
+            nums[1] as u32,
+            TruthLabel {
+                load_start_s: nums[2],
+                load_end_s: nums[3],
+                unload_start_s: nums[4],
+                unload_end_s: nums[5],
+            },
+        ));
+    }
+    if truths.len() != trajectories.len() {
+        return Err(format!(
+            "{split}: {} trajectories but {} truth rows",
+            trajectories.len(),
+            truths.len()
+        ));
+    }
+    let mut truck_ids = Vec::with_capacity(trajectories.len());
+    let mut samples = Vec::with_capacity(trajectories.len());
+    for ((seq, truck_id, truth), (tid, raw)) in truths.into_iter().zip(trajectories) {
+        if truck_id != tid {
+            return Err(format!(
+                "{split}: truth row {seq} names truck {truck_id} but trajectory {seq} is truck {tid}"
+            ));
+        }
+        truth.validate();
+        truck_ids.push(tid);
+        samples.push(TrainSample { raw, truth });
+    }
+    Ok(LoadedSplit { truck_ids, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead::synth::{generate_dataset, SynthConfig};
+
+    #[test]
+    fn split_roundtrip_through_directory() {
+        let mut cfg = SynthConfig::tiny();
+        cfg.num_trucks = 10;
+        cfg.days_per_truck = 1;
+        let ds = generate_dataset(&cfg);
+        let dir = std::env::temp_dir().join(format!("lead-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        write_pois(&ds.city.poi_db, &dir.join("pois.csv")).unwrap();
+        write_split(&ds.train, &dir, "train").unwrap();
+
+        let db = read_pois(&dir.join("pois.csv")).unwrap();
+        assert_eq!(db.len(), ds.city.poi_db.len());
+
+        let split = read_split(&dir, "train").unwrap();
+        assert_eq!(split.samples.len(), ds.train.len());
+        for (loaded, orig) in split.samples.iter().zip(&ds.train) {
+            assert_eq!(loaded.truth, orig.truth);
+            assert_eq!(loaded.raw.len(), orig.raw.len());
+            // Coordinates survive to ~1 cm.
+            let a = loaded.raw.points()[0];
+            let b = orig.raw.points()[0];
+            assert!(lead::geo::haversine_m(a.lat, a.lng, b.lat, b.lng) < 0.05);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

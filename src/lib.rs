@@ -1,0 +1,25 @@
+//! # LEAD — Detecting Loaded Trajectories for Hazardous Chemicals Transportation
+//!
+//! Umbrella crate re-exporting the whole workspace so downstream users can
+//! depend on a single crate. A Rust reproduction of:
+//!
+//! > Shuncheng Liu, Zhi Xu, Huimin Ren, Tianfu He, Boyang Han, Jie Bao,
+//! > Kai Zheng, Yu Zheng. *Detecting Loaded Trajectories for Hazardous
+//! > Chemicals Transportation.* ICDE 2022.
+//!
+//! See the repository `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-versus-measured results.
+//!
+//! The most common entry points are:
+//! - [`core::pipeline::Lead`] — the trained end-to-end detector;
+//! - [`synth::dataset`] — the synthetic HCT dataset substituting the paper's
+//!   proprietary Nantong data;
+//! - [`baselines`] — SP-R / SP-GRU / SP-LSTM comparison methods;
+//! - [`eval`] — the experiment harness regenerating every table and figure.
+
+pub use lead_baselines as baselines;
+pub use lead_core as core;
+pub use lead_eval as eval;
+pub use lead_geo as geo;
+pub use lead_nn as nn;
+pub use lead_synth as synth;

@@ -1,0 +1,32 @@
+//! The `lead` command-line tool: generate synthetic HCT data, train LEAD (or
+//! any ablation variant), detect loaded trajectories, and evaluate accuracy —
+//! all over plain CSV files, so real GPS feeds plug in without code.
+
+mod cli {
+    pub mod args;
+    pub mod commands;
+    pub mod data;
+}
+
+use cli::args::Args;
+use cli::commands::{run, usage};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", usage());
+        std::process::exit(2);
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Falsification tests for the synthetic world's difficulty story: the
+//! paper's two challenges (complex staying scenarios, numerous l/u
+//! locations) must be what actually breaks the stay-point baselines — turn
+//! the confounders off and SP-R must recover.
+
+use lead::baselines::SpR;
+use lead::core::config::LeadConfig;
+use lead::eval::runner::{test_case, to_train_samples};
+use lead::synth::{generate_dataset, SynthConfig};
+
+fn sp_r_accuracy(synth: &SynthConfig) -> f64 {
+    let ds = generate_dataset(synth);
+    let cfg = LeadConfig::paper();
+    let spr = SpR::fit(&to_train_samples(&ds.train), &cfg);
+    let mut hits = 0;
+    let mut total = 0;
+    for s in ds.test.iter().chain(&ds.val) {
+        let Some((_, truth)) = test_case(s, &cfg) else { continue };
+        if let Some(d) = spr.detect(&s.raw) {
+            hits += (d.candidate() == truth) as usize;
+        }
+        total += 1;
+    }
+    assert!(total > 0, "no scorable samples");
+    hits as f64 / total as f64 * 100.0
+}
+
+fn base_config() -> SynthConfig {
+    let mut cfg = SynthConfig::tiny();
+    cfg.num_trucks = 40;
+    cfg.days_per_truck = 2;
+    cfg
+}
+
+#[test]
+fn sp_r_recovers_when_confounders_are_disabled() {
+    // Hard world: breaks at fueling stations and inside industrial zones.
+    let hard = base_config();
+
+    // Easy world: no fueling-station breaks, no industrial-adjacent breaks —
+    // every whitelist hit is a genuine l/u stay.
+    let mut easy = base_config();
+    easy.fueling_break_prob = 0.0;
+    easy.industrial_break_fraction = 0.0;
+
+    let acc_hard = sp_r_accuracy(&hard);
+    let acc_easy = sp_r_accuracy(&easy);
+    assert!(
+        acc_easy >= acc_hard + 15.0,
+        "removing confounders should rescue SP-R: hard {acc_hard:.1}% vs easy {acc_easy:.1}%"
+    );
+    assert!(
+        acc_easy >= 50.0,
+        "without confounders SP-R should be decent, got {acc_easy:.1}%"
+    );
+}
+
+#[test]
+fn sp_r_degrades_when_whitelist_cannot_cover_sites() {
+    // Few l/u sites → training covers everything; many sites → coverage gaps
+    // (the paper's "numerous loading and unloading locations" challenge).
+    let mut few_sites = base_config();
+    few_sites.fueling_break_prob = 0.0;
+    few_sites.industrial_break_fraction = 0.0;
+    few_sites.num_loading_sites = 6;
+    few_sites.num_unloading_sites = 10;
+
+    let mut many_sites = few_sites.clone();
+    many_sites.num_loading_sites = 60;
+    many_sites.num_unloading_sites = 220;
+    // One l/u pair per truck day drawn from huge pools: the whitelist from 64
+    // training days cannot cover them all.
+    many_sites.loading_pool_per_truck = (1, 1);
+    many_sites.unloading_pool_per_truck = (1, 1);
+
+    let acc_covered = sp_r_accuracy(&few_sites);
+    let acc_uncovered = sp_r_accuracy(&many_sites);
+    assert!(
+        acc_covered > acc_uncovered,
+        "coverage gaps should hurt SP-R: covered {acc_covered:.1}% vs uncovered {acc_uncovered:.1}%"
+    );
+}

@@ -1,0 +1,130 @@
+//! Integration tests of the processing component against the synthetic
+//! generator: Definition 2 invariants on realistic data, noise-filter
+//! effectiveness, and candidate bookkeeping.
+
+use lead::core::config::LeadConfig;
+use lead::core::processing::{filter_noise, ProcessedTrajectory};
+use lead::geo::haversine_m;
+use lead::synth::{generate_dataset, SynthConfig};
+
+fn dataset() -> lead::synth::Dataset {
+    let mut cfg = SynthConfig::tiny();
+    cfg.num_trucks = 10;
+    generate_dataset(&cfg)
+}
+
+#[test]
+fn extracted_stay_points_satisfy_definition_2() {
+    let ds = dataset();
+    let cfg = LeadConfig::paper();
+    for s in ds.train.iter().take(10) {
+        let proc = ProcessedTrajectory::from_raw(&s.raw, &cfg);
+        let pts = proc.cleaned.points();
+        for sp in &proc.stay_points {
+            // Duration ≥ T_min.
+            let dur = pts[sp.end].t - pts[sp.start].t;
+            assert!(dur >= cfg.t_min_s, "stay duration {dur}");
+            // Every member within D_max of the anchor.
+            for k in sp.start..=sp.end {
+                let d = haversine_m(
+                    pts[sp.start].lat,
+                    pts[sp.start].lng,
+                    pts[k].lat,
+                    pts[k].lng,
+                );
+                assert!(d <= cfg.d_max_m + 1e-6, "member at {d} m from anchor");
+            }
+            // Maximality: the next point (if any) is beyond D_max.
+            if sp.end + 1 < pts.len() {
+                let d = haversine_m(
+                    pts[sp.start].lat,
+                    pts[sp.start].lng,
+                    pts[sp.end + 1].lat,
+                    pts[sp.end + 1].lng,
+                );
+                assert!(d > cfg.d_max_m, "stay not maximal: next point at {d} m");
+            }
+        }
+        // Chronological, non-overlapping.
+        for w in proc.stay_points.windows(2) {
+            assert!(w[0].end < w[1].start);
+        }
+    }
+}
+
+#[test]
+fn candidates_cover_all_ordered_pairs() {
+    let ds = dataset();
+    let cfg = LeadConfig::paper();
+    for s in ds.train.iter().take(10) {
+        let proc = ProcessedTrajectory::from_raw(&s.raw, &cfg);
+        let n = proc.num_stay_points();
+        assert_eq!(proc.candidates.len(), n * n.saturating_sub(1) / 2);
+        for c in &proc.candidates {
+            let (a, b) = proc.candidate_point_range(*c);
+            assert!(a < b);
+            assert!(b < proc.cleaned.len());
+        }
+    }
+}
+
+#[test]
+fn noise_filter_removes_injected_outliers() {
+    let mut synth = SynthConfig::tiny();
+    synth.num_trucks = 10;
+    synth.outlier_prob = 0.02; // 5× the default rate
+    let ds = lead::synth::generate_dataset(&synth);
+    let cfg = LeadConfig::paper();
+    let mut removed_total = 0;
+    for s in &ds.train {
+        let cleaned = filter_noise(&s.raw, cfg.v_max_kmh);
+        removed_total += s.raw.len() - cleaned.len();
+        // After filtering, no consecutive pair implies super-threshold speed.
+        for w in cleaned.points().windows(2) {
+            let v_kmh = w[0].speed_to_mps(&w[1]) * 3.6;
+            assert!(v_kmh <= cfg.v_max_kmh + 1e-9, "residual speed {v_kmh}");
+        }
+    }
+    assert!(removed_total > 0, "no outliers were injected/removed");
+}
+
+#[test]
+fn stay_count_is_robust_to_gps_noise_level() {
+    // Doubling GPS noise must not change stay counts drastically: the 500 m
+    // threshold dwarfs realistic sensor noise.
+    let mut a = SynthConfig::tiny();
+    a.num_trucks = 10;
+    let mut b = a.clone();
+    b.gps_noise_std_m = 18.0;
+    let cfg = LeadConfig::paper();
+    let da = lead::synth::generate_dataset(&a);
+    let db = lead::synth::generate_dataset(&b);
+    for (sa, sb) in da.train.iter().zip(&db.train) {
+        let na = ProcessedTrajectory::from_raw(&sa.raw, &cfg).num_stay_points();
+        let nb = ProcessedTrajectory::from_raw(&sb.raw, &cfg).num_stay_points();
+        assert!(
+            (na as i64 - nb as i64).abs() <= 1,
+            "stay counts diverged: {na} vs {nb}"
+        );
+    }
+}
+
+#[test]
+fn micro_stops_do_not_become_stay_points() {
+    // With micro-stops at maximum rate, stay counts must still track the
+    // planned stop count (micro-stops dwell < T_min).
+    let mut synth = SynthConfig::tiny();
+    synth.num_trucks = 10;
+    synth.micro_stop_prob = 1.0;
+    let ds = lead::synth::generate_dataset(&synth);
+    let cfg = LeadConfig::paper();
+    for s in &ds.train {
+        let proc = ProcessedTrajectory::from_raw(&s.raw, &cfg);
+        assert!(
+            proc.num_stay_points() <= s.planned_stays + 1,
+            "micro-stops inflated stays: planned {} extracted {}",
+            s.planned_stays,
+            proc.num_stay_points()
+        );
+    }
+}
