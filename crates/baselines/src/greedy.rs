@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn first_and_last_flags_win() {
-        assert_eq!(greedy_assemble(5, &[false, true, true, false, true]), (1, 4));
+        assert_eq!(
+            greedy_assemble(5, &[false, true, true, false, true]),
+            (1, 4)
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ mod tests {
     }
 
     fn stop_latlng(block: usize) -> (f64, f64) {
-        (32.0, 120.9 + block as f64 * 5.0 * meters_to_lng_deg(1_000.0, 32.0))
+        (
+            32.0,
+            120.9 + block as f64 * 5.0 * meters_to_lng_deg(1_000.0, 32.0),
+        )
     }
 
     #[test]

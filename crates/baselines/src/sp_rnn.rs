@@ -151,10 +151,20 @@ impl SpRnn {
         let mut ps = ParamSet::new();
         let in_dim = lead_core::features::FEATURE_DIM;
         let cell = match kind {
-            RnnKind::Gru => Cell::Gru(Gru::new(&mut ps, &mut rng, "sp.gru", in_dim, rnn_config.hidden)),
-            RnnKind::Lstm => {
-                Cell::Lstm(Lstm::new(&mut ps, &mut rng, "sp.lstm", in_dim, rnn_config.hidden))
-            }
+            RnnKind::Gru => Cell::Gru(Gru::new(
+                &mut ps,
+                &mut rng,
+                "sp.gru",
+                in_dim,
+                rnn_config.hidden,
+            )),
+            RnnKind::Lstm => Cell::Lstm(Lstm::new(
+                &mut ps,
+                &mut rng,
+                "sp.lstm",
+                in_dim,
+                rnn_config.hidden,
+            )),
         };
         let out = Linear::new(&mut ps, &mut rng, "sp.out", rnn_config.hidden, 1);
         let mut model = Self {
@@ -290,9 +300,21 @@ mod tests {
             })
             .collect();
         let pois = vec![
-            Poi { lat: 32.0, lng: 120.9, category: PoiCategory::ChemicalFactory },
-            Poi { lat: 32.0, lng: 120.9 + 5.0 * per_km, category: PoiCategory::Factory },
-            Poi { lat: 32.0, lng: 120.9 + 10.0 * per_km, category: PoiCategory::Restaurant },
+            Poi {
+                lat: 32.0,
+                lng: 120.9,
+                category: PoiCategory::ChemicalFactory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + 5.0 * per_km,
+                category: PoiCategory::Factory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + 10.0 * per_km,
+                category: PoiCategory::Restaurant,
+            },
         ];
         (samples, PoiDatabase::new(pois))
     }
@@ -302,8 +324,7 @@ mod tests {
         let (samples, db) = tiny_world();
         let cfg = LeadConfig::fast_test();
         for kind in [RnnKind::Gru, RnnKind::Lstm] {
-            let (model, curve) =
-                SpRnn::fit(kind, &samples, &db, &cfg, &SpRnnConfig::fast_test());
+            let (model, curve) = SpRnn::fit(kind, &samples, &db, &cfg, &SpRnnConfig::fast_test());
             assert!(!curve.is_empty());
             assert!(curve.iter().all(|l| l.is_finite()));
             let det = model.detect(&samples[0].raw, &db).unwrap();

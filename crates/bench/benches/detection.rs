@@ -34,8 +34,7 @@ fn bench_detection(c: &mut Criterion) {
             .collect();
         g.bench_with_input(BenchmarkId::new("stacked_bilstm", n), &n, |b, _| {
             b.iter(|| {
-                let refs: Vec<Vec<&Matrix>> =
-                    cvecs.iter().map(|s| s.iter().collect()).collect();
+                let refs: Vec<Vec<&Matrix>> = cvecs.iter().map(|s| s.iter().collect()).collect();
                 black_box(det.probabilities(&refs))
             })
         });

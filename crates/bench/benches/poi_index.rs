@@ -17,7 +17,10 @@ fn bench_poi_queries(c: &mut Criterion) {
     let queries: Vec<(f64, f64)> = (0..256)
         .map(|i| {
             let f = i as f64;
-            (32.0 + (f * 0.17).sin() * 0.15, 120.9 + (f * 0.31).cos() * 0.15)
+            (
+                32.0 + (f * 0.17).sin() * 0.15,
+                120.9 + (f * 0.31).cos() * 0.15,
+            )
         })
         .collect();
 

@@ -35,7 +35,12 @@ fn bench_processing(c: &mut Criterion) {
     });
 
     let mut g = c.benchmark_group("stay_point_extraction");
-    for (d_max, t_min) in [(200.0, 900.0), (500.0, 900.0), (500.0, 1800.0), (1000.0, 900.0)] {
+    for (d_max, t_min) in [
+        (200.0, 900.0),
+        (500.0, 900.0),
+        (500.0, 1800.0),
+        (1000.0, 900.0),
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("d{d_max}_t{t_min}")),
             &(d_max, t_min),

@@ -30,12 +30,8 @@ fn main() {
         ds.city.poi_db.len(),
         t.elapsed().as_secs_f64()
     );
-    let avg_pts: f64 = ds
-        .train
-        .iter()
-        .map(|s| s.raw.len() as f64)
-        .sum::<f64>()
-        / ds.train.len() as f64;
+    let avg_pts: f64 =
+        ds.train.iter().map(|s| s.raw.len() as f64).sum::<f64>() / ds.train.len() as f64;
     println!("avg GPS points per trajectory: {avg_pts:.0}");
 
     let mut cfg = LeadConfig::paper();

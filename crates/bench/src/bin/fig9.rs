@@ -49,7 +49,10 @@ fn main() {
             samples.push(tf.candidate(c));
         }
     }
-    println!("{} candidate feature sequences for AE training", samples.len());
+    println!(
+        "{} candidate feature sequences for AE training",
+        samples.len()
+    );
 
     let variants: [(&str, EncoderKind, bool); 3] = [
         ("HA in LEAD", EncoderKind::Hierarchical, true),

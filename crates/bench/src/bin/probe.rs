@@ -11,7 +11,10 @@ use std::time::Instant;
 
 fn main() {
     let arg = |i: usize, d: usize| -> usize {
-        std::env::args().nth(i).and_then(|s| s.parse().ok()).unwrap_or(d)
+        std::env::args()
+            .nth(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(d)
     };
     let n_trucks = arg(1, 60);
     let ae_epochs = arg(2, 12);
@@ -25,17 +28,19 @@ fn main() {
     cfg.detector_max_epochs = det_epochs;
 
     let ds = generate_dataset(&synth);
-    println!(
-        "dataset: {} train / {} test",
-        ds.train.len(),
-        ds.test.len()
-    );
+    println!("dataset: {} train / {} test", ds.train.len(), ds.test.len());
 
     let train = to_train_samples(&ds.train);
     let val = to_train_samples(&ds.val);
     let t = Instant::now();
-    let (lead, report) = Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full());
-    println!("fit in {:.1}s; used={} skipped={}", t.elapsed().as_secs_f64(), report.used_samples, report.skipped_samples);
+    let (lead, report) =
+        Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full());
+    println!(
+        "fit in {:.1}s; used={} skipped={}",
+        t.elapsed().as_secs_f64(),
+        report.used_samples,
+        report.skipped_samples
+    );
     println!("AE curve:  {:?}", report.ae_curve);
     println!("FWD curve: {:?}", report.forward_kld_curve);
     println!("FWD val:   {:?}", report.forward_val_kld_curve);
@@ -46,7 +51,9 @@ fn main() {
     let mut tr_hits = 0;
     let mut tr_total = 0;
     for s in ds.train.iter().take(40) {
-        let Some((_proc, truth)) = test_case(s, &cfg) else { continue };
+        let Some((_proc, truth)) = test_case(s, &cfg) else {
+            continue;
+        };
         if let Some(det) = lead.detect(&s.raw, &ds.city.poi_db) {
             tr_hits += (det.detected == truth) as usize;
             tr_total += 1;
@@ -58,7 +65,9 @@ fn main() {
     let mut total = 0;
     let mut breakdown = lead_eval::ErrorBreakdown::new();
     for s in ds.test.iter().chain(&ds.val) {
-        let Some((proc, truth)) = test_case(s, &cfg) else { continue };
+        let Some((proc, truth)) = test_case(s, &cfg) else {
+            continue;
+        };
         let det = lead.detect(&s.raw, &ds.city.poi_db).unwrap();
         let hit = det.detected == truth;
         breakdown.record(det.detected, truth);

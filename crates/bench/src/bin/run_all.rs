@@ -37,7 +37,11 @@ fn main() {
     for method in Method::table3() {
         let t = Instant::now();
         let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
-        println!("[table3/fig8] {:<10} {:.1}s", out.name, t.elapsed().as_secs_f64());
+        println!(
+            "[table3/fig8] {:<10} {:.1}s",
+            out.name,
+            t.elapsed().as_secs_f64()
+        );
         t3.push(out);
     }
     let table3 = accuracy_table(
@@ -82,7 +86,11 @@ fn main() {
         } else {
             let t = Instant::now();
             let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
-            println!("[table4] {:<12} {:.1}s", out.name, t.elapsed().as_secs_f64());
+            println!(
+                "[table4] {:<12} {:.1}s",
+                out.name,
+                t.elapsed().as_secs_f64()
+            );
             out
         };
         // Figure 9 series: the AE curves of LEAD / -NoSel / -NoHie.

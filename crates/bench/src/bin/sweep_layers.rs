@@ -20,7 +20,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(6);
 
-    println!("BiLSTM layer sweep (L = 1..={max_layers}) — scale `{}`", scale.name());
+    println!(
+        "BiLSTM layer sweep (L = 1..={max_layers}) — scale `{}`",
+        scale.name()
+    );
     let ds = generate_dataset(&scale.synth_config());
     let train = to_train_samples(&ds.train);
     let val = to_train_samples(&ds.val);
@@ -30,13 +33,16 @@ fn main() {
         let mut cfg = scale.lead_config();
         cfg.detector_layers = layers;
         let t = Instant::now();
-        let (model, _) = Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full());
+        let (model, _) =
+            Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full());
         let secs = t.elapsed().as_secs_f64();
 
         let mut hits = 0;
         let mut total = 0;
         for s in &ds.val {
-            let Some((_, truth)) = test_case(s, &cfg) else { continue };
+            let Some((_, truth)) = test_case(s, &cfg) else {
+                continue;
+            };
             if let Some(r) = model.detect(&s.raw, &ds.city.poi_db) {
                 hits += (r.detected == truth) as usize;
             }

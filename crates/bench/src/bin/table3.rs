@@ -40,13 +40,19 @@ fn main() {
         outcomes.push(out);
     }
 
-    let table = accuracy_table("Table III: Accuracy of Baselines and Ours (LEAD) on the Test Set", &outcomes);
+    let table = accuracy_table(
+        "Table III: Accuracy of Baselines and Ours (LEAD) on the Test Set",
+        &outcomes,
+    );
     let soft = iou_table(
         "Soft accuracy: mean temporal IoU of detected vs true loaded intervals",
         &outcomes,
     );
     println!("\n{table}\n{soft}");
     write_result(&format!("table3_{}.txt", scale.name()), &table);
-    write_result(&format!("table3_{}.csv", scale.name()), &accuracy_csv(&outcomes));
+    write_result(
+        &format!("table3_{}.csv", scale.name()),
+        &accuracy_csv(&outcomes),
+    );
     write_result(&format!("iou_{}.txt", scale.name()), &soft);
 }

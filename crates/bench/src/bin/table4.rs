@@ -44,5 +44,8 @@ fn main() {
     );
     println!("\n{table}");
     write_result(&format!("table4_{}.txt", scale.name()), &table);
-    write_result(&format!("table4_{}.csv", scale.name()), &accuracy_csv(&outcomes));
+    write_result(
+        &format!("table4_{}.csv", scale.name()),
+        &accuracy_csv(&outcomes),
+    );
 }

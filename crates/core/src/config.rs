@@ -65,6 +65,15 @@ pub struct LeadConfig {
     /// Standard deviation of Gaussian noise added to compressed vectors
     /// during detector training (augmentation; 0 = paper behaviour).
     pub cvec_noise_std: f32,
+
+    // ---- execution ----------------------------------------------------------
+    /// Worker threads for the data-parallel hot paths (training windows,
+    /// candidate encoding, batch detection, feature extraction, evaluation).
+    /// `0` uses all available cores; `1` takes the exact serial code path.
+    /// Every value produces bit-identical results at a fixed seed — the
+    /// parallel reduce is performed in a fixed order (see `lead_nn::par`).
+    /// Runtime-only: not persisted with trained models.
+    pub num_threads: usize,
 }
 
 impl LeadConfig {
@@ -89,6 +98,7 @@ impl LeadConfig {
             grad_clip_norm: 5.0,
             detector_weight_decay: 0.0,
             cvec_noise_std: 0.0,
+            num_threads: 0,
         }
     }
 
@@ -145,15 +155,33 @@ impl LeadConfig {
         assert!(self.d_max_m > 0.0, "D_max must be positive");
         assert!(self.t_min_s > 0, "T_min must be positive");
         assert!(self.poi_radius_m > 0.0, "POI radius must be positive");
-        assert!(self.ae_hidden > 0 && self.detector_hidden > 0, "hidden sizes must be positive");
+        assert!(
+            self.ae_hidden > 0 && self.detector_hidden > 0,
+            "hidden sizes must be positive"
+        );
         assert!(self.detector_layers > 0, "need at least one BiLSTM layer");
-        assert!(self.label_epsilon > 0.0 && self.label_epsilon < 0.01,
-            "ε must be a small positive constant");
+        assert!(
+            self.label_epsilon > 0.0 && self.label_epsilon < 0.01,
+            "ε must be a small positive constant"
+        );
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.batch_accumulation > 0, "batch accumulation must be positive");
-        assert!(self.ae_max_epochs > 0 && self.detector_max_epochs > 0, "need at least one epoch");
-        assert!(self.detector_weight_decay >= 0.0, "weight decay must be non-negative");
-        assert!(self.cvec_noise_std >= 0.0, "augmentation noise must be non-negative");
+        assert!(
+            self.batch_accumulation > 0,
+            "batch accumulation must be positive"
+        );
+        assert!(
+            self.ae_max_epochs > 0 && self.detector_max_epochs > 0,
+            "need at least one epoch"
+        );
+        assert!(
+            self.detector_weight_decay >= 0.0,
+            "weight decay must be non-negative"
+        );
+        assert!(
+            self.cvec_noise_std >= 0.0,
+            "augmentation noise must be non-negative"
+        );
+        // num_threads needs no check: 0 = all cores, anything else is literal.
     }
 }
 

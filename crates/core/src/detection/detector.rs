@@ -39,7 +39,11 @@ impl GroupDetector {
             config.detector_layers,
         );
         let out = Linear::new(&mut ps, rng, "det.out", config.detector_hidden, 1);
-        Self { params: ps, stack, out }
+        Self {
+            params: ps,
+            stack,
+            out,
+        }
     }
 
     /// Number of trainable scalars (diagnostics).
@@ -76,17 +80,7 @@ impl GroupDetector {
     /// # Panics
     /// Panics if the group or any subgroup is empty.
     pub fn forward_graph(&self, g: &mut Graph, subgroups: &[Vec<&Matrix>]) -> Var {
-        assert!(!subgroups.is_empty(), "empty group");
-        let mut logits = Vec::with_capacity(subgroups.len());
-        for sub in subgroups {
-            assert!(!sub.is_empty(), "empty subgroup");
-            let xs: Vec<Var> = sub.iter().map(|m| g.constant((*m).clone())).collect();
-            let hs = self.stack.forward(g, &xs);
-            let sub_logits: Vec<Var> = hs.iter().map(|&h| self.out.forward(g, h)).collect();
-            logits.push(g.concat_cols(&sub_logits));
-        }
-        let row = g.concat_cols(&logits);
-        g.softmax_rows(row)
+        forward_graph_parts(&self.stack, &self.out, g, subgroups)
     }
 
     /// The flat probability distribution over one group, as values.
@@ -134,47 +128,66 @@ impl GroupDetector {
         let mut order: Vec<usize> = (0..items.len()).collect();
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
+        let stack = &self.stack;
+        let out = &self.out;
         for _epoch in 0..config.detector_max_epochs {
             order.shuffle(rng);
             let mut total = 0.0f64;
-            for &i in &order {
-                let (group, label) = &items[i];
+            for window in order.chunks(config.batch_accumulation) {
                 // Augmentation: jitter the frozen compressed vectors so the
                 // detector cannot memorise exact embeddings of the (small)
-                // training fleet.
-                let noisy: Vec<Vec<Matrix>> = if config.cvec_noise_std > 0.0 {
-                    group
-                        .iter()
-                        .map(|sub| {
-                            sub.iter()
-                                .map(|m| {
-                                    let mut out = m.clone();
-                                    for v in out.data_mut() {
-                                        *v += gauss(rng) * config.cvec_noise_std;
-                                    }
-                                    out
+                // training fleet. Noise is drawn serially, in item order,
+                // *before* the parallel window so the rng stream — and thus
+                // the whole training trajectory — is identical to the serial
+                // per-sample loop for every `num_threads`.
+                let prepared: Vec<(Vec<Vec<Matrix>>, &Matrix)> = window
+                    .iter()
+                    .map(|&i| {
+                        let (group, label) = &items[i];
+                        let noisy: Vec<Vec<Matrix>> = if config.cvec_noise_std > 0.0 {
+                            group
+                                .iter()
+                                .map(|sub| {
+                                    sub.iter()
+                                        .map(|m| {
+                                            let mut jittered = m.clone();
+                                            for v in jittered.data_mut() {
+                                                *v += gauss(rng) * config.cvec_noise_std;
+                                            }
+                                            jittered
+                                        })
+                                        .collect()
                                 })
                                 .collect()
-                        })
-                        .collect()
-                } else {
-                    group.clone()
-                };
-                let refs: Vec<Vec<&Matrix>> =
-                    noisy.iter().map(|sub| sub.iter().collect()).collect();
-                let mut g = Graph::new(&self.params);
-                let p = self.forward_graph(&mut g, &refs);
-                let loss = g.kld_loss(p, label);
-                total += g.scalar(loss) as f64;
-                let grads = g.backward(loss);
-                trainer.submit(&mut self.params, grads);
+                        } else {
+                            group.clone()
+                        };
+                        (noisy, label)
+                    })
+                    .collect();
+                let losses = trainer.submit_window(
+                    &mut self.params,
+                    config.num_threads,
+                    &prepared,
+                    |_, (group, label), ps| {
+                        let refs: Vec<Vec<&Matrix>> =
+                            group.iter().map(|sub| sub.iter().collect()).collect();
+                        let mut g = Graph::new(ps);
+                        let p = forward_graph_parts(stack, out, &mut g, &refs);
+                        let loss = g.kld_loss(p, label);
+                        (g.scalar(loss), g.backward(loss))
+                    },
+                );
+                for l in losses {
+                    total += l as f64;
+                }
             }
             trainer.flush(&mut self.params);
             let train_mean = (total / items.len() as f64) as f32;
             train_curve.push(train_mean);
             if let Some(v) = val_items {
                 if !v.is_empty() {
-                    val_curve.push(self.evaluate(v));
+                    val_curve.push(self.evaluate_par(v, config.num_threads));
                 }
             }
             if stopper.observe(train_mean) {
@@ -186,17 +199,46 @@ impl GroupDetector {
 
     /// Mean KLD over `items` without training.
     pub fn evaluate(&self, items: &[GroupItem]) -> f32 {
+        self.evaluate_par(items, 1)
+    }
+
+    /// [`Self::evaluate`] on `num_threads` workers (0 = all cores). The sum
+    /// over items runs in item order, so the result is bit-identical for
+    /// every thread count.
+    pub fn evaluate_par(&self, items: &[GroupItem], num_threads: usize) -> f32 {
         assert!(!items.is_empty(), "evaluation needs samples");
-        let mut total = 0.0f64;
-        for (group, label) in items {
+        let per_item = lead_nn::par::par_map(num_threads, items, |_, (group, label)| {
             let refs: Vec<Vec<&Matrix>> = group.iter().map(|sub| sub.iter().collect()).collect();
             let mut g = Graph::new(&self.params);
             let p = self.forward_graph(&mut g, &refs);
             let loss = g.kld_loss(p, label);
-            total += g.scalar(loss) as f64;
-        }
+            g.scalar(loss)
+        });
+        let total: f64 = per_item.iter().map(|&l| l as f64).sum();
         (total / items.len() as f64) as f32
     }
+}
+
+/// [`GroupDetector::forward_graph`] over the detector's layers as a free
+/// function, so the parallel training windows can share the layer handles
+/// while the trainer holds the mutable `ParamSet`.
+fn forward_graph_parts(
+    stack: &StackedBiLstm,
+    out: &Linear,
+    g: &mut Graph,
+    subgroups: &[Vec<&Matrix>],
+) -> Var {
+    assert!(!subgroups.is_empty(), "empty group");
+    let mut logits = Vec::with_capacity(subgroups.len());
+    for sub in subgroups {
+        assert!(!sub.is_empty(), "empty subgroup");
+        let xs: Vec<Var> = sub.iter().map(|m| g.constant((*m).clone())).collect();
+        let hs = stack.forward(g, &xs);
+        let sub_logits: Vec<Var> = hs.iter().map(|&h| out.forward(g, h)).collect();
+        logits.push(g.concat_cols(&sub_logits));
+    }
+    let row = g.concat_cols(&logits);
+    g.softmax_rows(row)
 }
 
 /// Standard normal sample (Box–Muller) for the c-vec augmentation.
@@ -229,7 +271,8 @@ mod tests {
                 sub.iter()
                     .map(|c| {
                         Matrix::from_fn(1, dim, |_, k| {
-                            let base = ((c.start_sp * 31 + c.end_sp * 17 + k) as f32 * 0.7).sin() * 0.3;
+                            let base =
+                                ((c.start_sp * 31 + c.end_sp * 17 + k) as f32 * 0.7).sin() * 0.3;
                             if *c == truth && k < 4 {
                                 base + 0.9
                             } else {

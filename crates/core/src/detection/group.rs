@@ -39,7 +39,11 @@ pub fn build_groups(n: usize) -> Groups {
     let backward: Vec<Vec<Candidate>> = (1..n)
         .map(|j| (0..j).rev().map(|i| Candidate::new(i, j)).collect())
         .collect();
-    Groups { n, forward, backward }
+    Groups {
+        n,
+        forward,
+        backward,
+    }
 }
 
 /// The canonical forward flattening `[p̂_1^f … p̂_{n−1}^f]`: forward subgroups
@@ -52,7 +56,9 @@ pub fn forward_flat_order(n: usize) -> Vec<Candidate> {
 /// The canonical backward flattening `[p̂_2^b … p̂_n^b]`: backward subgroups
 /// concatenated in ending-index order.
 pub fn backward_flat_order(n: usize) -> Vec<Candidate> {
-    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    // `n * (n - 1)` would underflow for `n = 0`; saturate so the degenerate
+    // inputs yield an empty order instead of a panic in release builds.
+    let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for j in 1..n {
         for i in (0..j).rev() {
             out.push(Candidate::new(i, j));
@@ -65,7 +71,7 @@ impl Groups {
     /// Total number of candidates across subgroups (each group covers every
     /// candidate exactly once).
     pub fn num_candidates(&self) -> usize {
-        self.n * (self.n - 1) / 2
+        self.n * self.n.saturating_sub(1) / 2
     }
 }
 
@@ -141,5 +147,13 @@ mod tests {
     #[should_panic(expected = "at least two stay points")]
     fn one_stay_point_rejected() {
         let _ = build_groups(1);
+    }
+
+    #[test]
+    fn flat_orders_are_empty_below_two_stay_points() {
+        for n in 0..2 {
+            assert!(forward_flat_order(n).is_empty(), "n={n}");
+            assert!(backward_flat_order(n).is_empty(), "n={n}");
+        }
     }
 }

@@ -29,7 +29,13 @@ impl MlpDetector {
         let l2 = Linear::new(&mut ps, rng, "mlp.l2", 64, 32);
         let l3 = Linear::new(&mut ps, rng, "mlp.l3", 32, 32);
         let l4 = Linear::new(&mut ps, rng, "mlp.l4", 32, 1);
-        Self { params: ps, l1, l2, l3, l4 }
+        Self {
+            params: ps,
+            l1,
+            l2,
+            l3,
+            l4,
+        }
     }
 
     /// The trainable parameters (persistence).

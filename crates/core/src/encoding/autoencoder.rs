@@ -66,26 +66,144 @@ pub struct Autoencoder {
     hidden: usize,
 }
 
+/// [`Autoencoder::encode`] as a free function over the architecture, so the
+/// parallel training windows can share `&Arch` while the trainer holds the
+/// mutable `ParamSet`.
+fn encode_arch(arch: &Arch, g: &mut Graph, input: &CandidateFeatures) -> Var {
+    input.validate();
+    match arch {
+        Arch::Hierarchical {
+            comp_sp1,
+            comp_mp1,
+            comp_sp2,
+            comp_mp2,
+            ..
+        } => {
+            let sp_vecs: Vec<Var> = input
+                .sp_seqs
+                .iter()
+                .map(|m| comp_sp1.compress_matrix(g, m))
+                .collect();
+            let mp_vecs: Vec<Var> = input
+                .mp_seqs
+                .iter()
+                .map(|m| comp_mp1.compress_matrix(g, m))
+                .collect();
+            let sp_c = comp_sp2.compress_vars(g, &sp_vecs);
+            let mp_c = comp_mp2.compress_vars(g, &mp_vecs);
+            g.concat_cols(&[sp_c, mp_c])
+        }
+        Arch::Flat { comp, .. } => comp.compress_matrix(g, &input.interleaved()),
+    }
+}
+
+/// [`Autoencoder::reconstruction_loss`] as a free function (see
+/// [`encode_arch`] for why).
+fn reconstruction_loss_arch(
+    arch: &Arch,
+    hidden: usize,
+    g: &mut Graph,
+    input: &CandidateFeatures,
+) -> Var {
+    let c_vec = encode_arch(arch, g, input);
+    match arch {
+        Arch::Hierarchical {
+            dec_sp1,
+            dec_mp1,
+            dec_sp2,
+            dec_mp2,
+            ..
+        } => {
+            let h = hidden;
+            let v_sp = g.slice_cols(c_vec, 0, h);
+            let v_mp = g.slice_cols(c_vec, h, 2 * h);
+            // Phase 1: c-vec halves → per-stay / per-move vectors.
+            let sp_cvec_seq = dec_sp1.decompress(g, v_sp, input.sp_seqs.len());
+            let mp_cvec_seq = dec_mp1.decompress(g, v_mp, input.mp_seqs.len());
+            // Phase 2: each vector → its feature sequence.
+            let mut recs: Vec<Var> = Vec::with_capacity(input.sp_seqs.len() + input.mp_seqs.len());
+            for (k, target) in input.sp_seqs.iter().enumerate() {
+                let v = g.row(sp_cvec_seq, k);
+                recs.push(dec_sp2.decompress(g, v, target.rows()));
+            }
+            for (k, target) in input.mp_seqs.iter().enumerate() {
+                let v = g.row(mp_cvec_seq, k);
+                recs.push(dec_mp2.decompress(g, v, target.rows()));
+            }
+            let rec_all = g.concat_rows(&recs);
+            let target_refs: Vec<&Matrix> =
+                input.sp_seqs.iter().chain(input.mp_seqs.iter()).collect();
+            let target_all = Matrix::concat_rows(&target_refs);
+            g.mse_loss(rec_all, &target_all)
+        }
+        Arch::Flat { dec, .. } => {
+            let target = input.interleaved();
+            let rec = dec.decompress(g, c_vec, target.rows());
+            g.mse_loss(rec, &target)
+        }
+    }
+}
+
 impl Autoencoder {
     /// Builds an untrained autoencoder.
     ///
     /// `use_attention = false` reproduces `LEAD-NoSel`.
-    pub fn new<R: Rng>(config: &LeadConfig, kind: EncoderKind, use_attention: bool, rng: &mut R) -> Self {
+    pub fn new<R: Rng>(
+        config: &LeadConfig,
+        kind: EncoderKind,
+        use_attention: bool,
+        rng: &mut R,
+    ) -> Self {
         let h = config.ae_hidden;
         let mut ps = ParamSet::new();
         let arch = match kind {
             EncoderKind::Hierarchical => Arch::Hierarchical {
-                comp_sp1: CompressionOperator::new(&mut ps, rng, "ae.comp_sp1", FEATURE_DIM, h, use_attention),
-                comp_mp1: CompressionOperator::new(&mut ps, rng, "ae.comp_mp1", FEATURE_DIM, h, use_attention),
-                comp_sp2: CompressionOperator::new(&mut ps, rng, "ae.comp_sp2", h, h, use_attention),
-                comp_mp2: CompressionOperator::new(&mut ps, rng, "ae.comp_mp2", h, h, use_attention),
+                comp_sp1: CompressionOperator::new(
+                    &mut ps,
+                    rng,
+                    "ae.comp_sp1",
+                    FEATURE_DIM,
+                    h,
+                    use_attention,
+                ),
+                comp_mp1: CompressionOperator::new(
+                    &mut ps,
+                    rng,
+                    "ae.comp_mp1",
+                    FEATURE_DIM,
+                    h,
+                    use_attention,
+                ),
+                comp_sp2: CompressionOperator::new(
+                    &mut ps,
+                    rng,
+                    "ae.comp_sp2",
+                    h,
+                    h,
+                    use_attention,
+                ),
+                comp_mp2: CompressionOperator::new(
+                    &mut ps,
+                    rng,
+                    "ae.comp_mp2",
+                    h,
+                    h,
+                    use_attention,
+                ),
                 dec_sp1: DecompressionOperator::new(&mut ps, rng, "ae.dec_sp1", h, h, h),
                 dec_mp1: DecompressionOperator::new(&mut ps, rng, "ae.dec_mp1", h, h, h),
                 dec_sp2: DecompressionOperator::new(&mut ps, rng, "ae.dec_sp2", h, h, FEATURE_DIM),
                 dec_mp2: DecompressionOperator::new(&mut ps, rng, "ae.dec_mp2", h, h, FEATURE_DIM),
             },
             EncoderKind::Flat => Arch::Flat {
-                comp: CompressionOperator::new(&mut ps, rng, "ae.comp", FEATURE_DIM, 2 * h, use_attention),
+                comp: CompressionOperator::new(
+                    &mut ps,
+                    rng,
+                    "ae.comp",
+                    FEATURE_DIM,
+                    2 * h,
+                    use_attention,
+                ),
                 dec: DecompressionOperator::new(&mut ps, rng, "ae.dec", 2 * h, 2 * h, FEATURE_DIM),
             },
         };
@@ -127,72 +245,12 @@ impl Autoencoder {
 
     /// Records the compressor on `g`, returning the 1×c_vec node of `input`.
     pub fn encode(&self, g: &mut Graph, input: &CandidateFeatures) -> Var {
-        input.validate();
-        match &self.arch {
-            Arch::Hierarchical {
-                comp_sp1,
-                comp_mp1,
-                comp_sp2,
-                comp_mp2,
-                ..
-            } => {
-                let sp_vecs: Vec<Var> = input
-                    .sp_seqs
-                    .iter()
-                    .map(|m| comp_sp1.compress_matrix(g, m))
-                    .collect();
-                let mp_vecs: Vec<Var> = input
-                    .mp_seqs
-                    .iter()
-                    .map(|m| comp_mp1.compress_matrix(g, m))
-                    .collect();
-                let sp_c = comp_sp2.compress_vars(g, &sp_vecs);
-                let mp_c = comp_mp2.compress_vars(g, &mp_vecs);
-                g.concat_cols(&[sp_c, mp_c])
-            }
-            Arch::Flat { comp, .. } => comp.compress_matrix(g, &input.interleaved()),
-        }
+        encode_arch(&self.arch, g, input)
     }
 
     /// Records compressor + decompressor + MSE reconstruction loss on `g`.
     pub fn reconstruction_loss(&self, g: &mut Graph, input: &CandidateFeatures) -> Var {
-        let c_vec = self.encode(g, input);
-        match &self.arch {
-            Arch::Hierarchical {
-                dec_sp1,
-                dec_mp1,
-                dec_sp2,
-                dec_mp2,
-                ..
-            } => {
-                let h = self.hidden;
-                let v_sp = g.slice_cols(c_vec, 0, h);
-                let v_mp = g.slice_cols(c_vec, h, 2 * h);
-                // Phase 1: c-vec halves → per-stay / per-move vectors.
-                let sp_cvec_seq = dec_sp1.decompress(g, v_sp, input.sp_seqs.len());
-                let mp_cvec_seq = dec_mp1.decompress(g, v_mp, input.mp_seqs.len());
-                // Phase 2: each vector → its feature sequence.
-                let mut recs: Vec<Var> = Vec::with_capacity(input.sp_seqs.len() + input.mp_seqs.len());
-                for (k, target) in input.sp_seqs.iter().enumerate() {
-                    let v = g.row(sp_cvec_seq, k);
-                    recs.push(dec_sp2.decompress(g, v, target.rows()));
-                }
-                for (k, target) in input.mp_seqs.iter().enumerate() {
-                    let v = g.row(mp_cvec_seq, k);
-                    recs.push(dec_mp2.decompress(g, v, target.rows()));
-                }
-                let rec_all = g.concat_rows(&recs);
-                let target_refs: Vec<&Matrix> =
-                    input.sp_seqs.iter().chain(input.mp_seqs.iter()).collect();
-                let target_all = Matrix::concat_rows(&target_refs);
-                g.mse_loss(rec_all, &target_all)
-            }
-            Arch::Flat { dec, .. } => {
-                let target = input.interleaved();
-                let rec = dec.decompress(g, c_vec, target.rows());
-                g.mse_loss(rec, &target)
-            }
-        }
+        reconstruction_loss_arch(&self.arch, self.hidden, g, input)
     }
 
     /// Trains the autoencoder self-supervised on the given candidate feature
@@ -228,22 +286,36 @@ impl Autoencoder {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
+        let arch = &self.arch;
+        let hidden = self.hidden;
         for _epoch in 0..config.ae_max_epochs {
             order.shuffle(rng);
             let mut total = 0.0f64;
-            for &i in &order {
-                let mut g = Graph::new(&self.params);
-                let loss = self.reconstruction_loss(&mut g, &samples[i]);
-                total += g.scalar(loss) as f64;
-                let grads = g.backward(loss);
-                trainer.submit(&mut self.params, grads);
+            // Each accumulation window's forward/backward passes run
+            // data-parallel against the parameter snapshot; gradients are
+            // submitted in item order, so every `num_threads` value yields
+            // the exact optimiser trajectory of the serial per-sample loop.
+            for window in order.chunks(config.batch_accumulation) {
+                let losses = trainer.submit_window(
+                    &mut self.params,
+                    config.num_threads,
+                    window,
+                    |_, &i, ps| {
+                        let mut g = Graph::new(ps);
+                        let loss = reconstruction_loss_arch(arch, hidden, &mut g, &samples[i]);
+                        (g.scalar(loss), g.backward(loss))
+                    },
+                );
+                for l in losses {
+                    total += l as f64;
+                }
             }
             trainer.flush(&mut self.params);
             let train_mean = (total / samples.len() as f64) as f32;
             train_curve.push(train_mean);
             if let Some(v) = val_samples {
                 if !v.is_empty() {
-                    val_curve.push(self.evaluate(v));
+                    val_curve.push(self.evaluate_par(v, config.num_threads));
                 }
             }
             if stopper.observe(train_mean) {
@@ -255,13 +327,20 @@ impl Autoencoder {
 
     /// Computes the loss of every sample without training (validation).
     pub fn evaluate(&self, samples: &[CandidateFeatures]) -> f32 {
+        self.evaluate_par(samples, 1)
+    }
+
+    /// [`Self::evaluate`] on `num_threads` workers (0 = all cores). The sum
+    /// over samples runs in item order, so the result is bit-identical for
+    /// every thread count.
+    pub fn evaluate_par(&self, samples: &[CandidateFeatures], num_threads: usize) -> f32 {
         assert!(!samples.is_empty(), "evaluation needs samples");
-        let mut total = 0.0f64;
-        for s in samples {
+        let per_sample = lead_nn::par::par_map(num_threads, samples, |_, s| {
             let mut g = Graph::new(&self.params);
             let loss = self.reconstruction_loss(&mut g, s);
-            total += g.scalar(loss) as f64;
-        }
+            g.scalar(loss)
+        });
+        let total: f64 = per_sample.iter().map(|&l| l as f64).sum();
         (total / samples.len() as f64) as f32
     }
 
@@ -279,7 +358,16 @@ impl Autoencoder {
     /// stay/move points only through their phase-1 vectors, which are
     /// identical across candidates. The flat variant has no such structure
     /// and falls back to per-candidate encoding.
-    pub fn encode_all(&self, tf: &TrajectoryFeatures, candidates: &[Candidate]) -> Vec<Matrix> {
+    ///
+    /// Phase 1 runs once; the per-candidate phase-2 passes run on
+    /// `num_threads` workers (0 = all cores). Results are returned in
+    /// candidate order and are bit-identical for every thread count.
+    pub fn encode_all(
+        &self,
+        tf: &TrajectoryFeatures,
+        candidates: &[Candidate],
+        num_threads: usize,
+    ) -> Vec<Matrix> {
         match &self.arch {
             Arch::Hierarchical {
                 comp_sp1,
@@ -288,31 +376,45 @@ impl Autoencoder {
                 comp_mp2,
                 ..
             } => {
+                // Phase 1 once, keeping only the values: candidates need the
+                // phase-1 vectors, not their tape nodes.
                 let mut g = Graph::new(&self.params);
-                let sp_vecs: Vec<Var> = tf
+                let sp_vals: Vec<Matrix> = tf
                     .sp_seqs
                     .iter()
-                    .map(|m| comp_sp1.compress_matrix(&mut g, m))
-                    .collect();
-                let mp_vecs: Vec<Var> = tf
-                    .mp_seqs
-                    .iter()
-                    .map(|m| comp_mp1.compress_matrix(&mut g, m))
-                    .collect();
-                candidates
-                    .iter()
-                    .map(|c| {
-                        let sp_c = comp_sp2.compress_vars(&mut g, &sp_vecs[c.start_sp..=c.end_sp]);
-                        let mp_c = comp_mp2.compress_vars(&mut g, &mp_vecs[c.start_sp..c.end_sp]);
-                        let v = g.concat_cols(&[sp_c, mp_c]);
+                    .map(|m| {
+                        let v = comp_sp1.compress_matrix(&mut g, m);
                         g.value(v).clone()
                     })
-                    .collect()
+                    .collect();
+                let mp_vals: Vec<Matrix> = tf
+                    .mp_seqs
+                    .iter()
+                    .map(|m| {
+                        let v = comp_mp1.compress_matrix(&mut g, m);
+                        g.value(v).clone()
+                    })
+                    .collect();
+                drop(g);
+                lead_nn::par::par_map(num_threads, candidates, |_, c| {
+                    let mut g = Graph::new(&self.params);
+                    let sp_vecs: Vec<Var> = sp_vals[c.start_sp..=c.end_sp]
+                        .iter()
+                        .map(|m| g.constant(m.clone()))
+                        .collect();
+                    let mp_vecs: Vec<Var> = mp_vals[c.start_sp..c.end_sp]
+                        .iter()
+                        .map(|m| g.constant(m.clone()))
+                        .collect();
+                    let sp_c = comp_sp2.compress_vars(&mut g, &sp_vecs);
+                    let mp_c = comp_mp2.compress_vars(&mut g, &mp_vecs);
+                    let v = g.concat_cols(&[sp_c, mp_c]);
+                    g.value(v).clone()
+                })
             }
-            Arch::Flat { .. } => candidates
-                .iter()
-                .map(|&c| self.encode_value(&tf.candidate(c)))
-                .collect(),
+            Arch::Flat { .. } => lead_nn::par::par_map(num_threads, candidates, |_, &c| {
+                self.encode_value(&tf.candidate(c))
+            }),
         }
     }
 }
@@ -394,7 +496,13 @@ mod tests {
             mp_seqs: cf.mp_seqs.clone(),
         };
         let candidates = crate::processing::enumerate_candidates(4);
-        let cached = ae.encode_all(&tf, &candidates);
+        let cached = ae.encode_all(&tf, &candidates, 1);
+        for threads in [2, 4] {
+            let par = ae.encode_all(&tf, &candidates, threads);
+            for (a, b) in cached.iter().zip(par.iter()) {
+                assert_eq!(a.data(), b.data(), "threads={threads}");
+            }
+        }
         for (c, cv) in candidates.iter().zip(cached.iter()) {
             let direct = ae.encode_value(&tf.candidate(*c));
             for (a, b) in cv.data().iter().zip(direct.data().iter()) {

@@ -217,11 +217,7 @@ impl<'a> FeatureExtractor<'a> {
     /// The flat feature sequence of a candidate (its GPS points in order,
     /// without the boundary duplication of the structured form) — the input
     /// of the `LEAD-NoHie` flat autoencoder.
-    pub fn candidate_flat_features(
-        &self,
-        proc: &ProcessedTrajectory,
-        cand: Candidate,
-    ) -> Matrix {
+    pub fn candidate_flat_features(&self, proc: &ProcessedTrajectory, cand: Candidate) -> Matrix {
         let (a, b) = proc.candidate_point_range(cand);
         self.range_features(proc, a, b)
     }
@@ -261,16 +257,28 @@ impl TrajectoryFeatures {
 impl<'a> FeatureExtractor<'a> {
     /// Extracts the features of every stay point and move point of `proc`.
     pub fn trajectory_features(&self, proc: &ProcessedTrajectory) -> TrajectoryFeatures {
+        self.trajectory_features_par(proc, 1)
+    }
+
+    /// [`Self::trajectory_features`] with the per-segment POI queries and
+    /// normalisation spread over `num_threads` workers (0 = all cores).
+    /// Segments are independent POI-index lookups, so the result is
+    /// bit-identical for every thread count.
+    pub fn trajectory_features_par(
+        &self,
+        proc: &ProcessedTrajectory,
+        num_threads: usize,
+    ) -> TrajectoryFeatures {
         let n = proc.num_stay_points();
-        let mut sp_seqs = Vec::with_capacity(n);
-        let mut mp_seqs = Vec::with_capacity(n.saturating_sub(1));
-        for (k, sp) in proc.stay_points.iter().enumerate() {
-            sp_seqs.push(self.range_features(proc, sp.start, sp.end));
-            if k + 1 < n {
-                let (a, b) = proc.move_point_range(k);
-                mp_seqs.push(self.range_features(proc, a, b));
-            }
-        }
+        let sp_seqs = lead_nn::par::par_map(num_threads, &proc.stay_points, |_, sp| {
+            self.range_features(proc, sp.start, sp.end)
+        });
+        let mp_ranges: Vec<(usize, usize)> = (0..n.saturating_sub(1))
+            .map(|k| proc.move_point_range(k))
+            .collect();
+        let mp_seqs = lead_nn::par::par_map(num_threads, &mp_ranges, |_, &(a, b)| {
+            self.range_features(proc, a, b)
+        });
         TrajectoryFeatures { sp_seqs, mp_seqs }
     }
 }
@@ -289,7 +297,11 @@ pub struct CandidateFeatures {
 impl CandidateFeatures {
     /// Total number of feature rows across all sequences.
     pub fn total_rows(&self) -> usize {
-        self.sp_seqs.iter().chain(self.mp_seqs.iter()).map(Matrix::rows).sum()
+        self.sp_seqs
+            .iter()
+            .chain(self.mp_seqs.iter())
+            .map(Matrix::rows)
+            .sum()
     }
 
     /// The interleaved flat feature sequence
@@ -414,7 +426,11 @@ mod tests {
             pts.push(GpsPoint::new(32.0, 120.9, k * 120));
         }
         for k in 0..4 {
-            pts.push(GpsPoint::new(32.0, 120.91 + 0.012 * k as f64, 1_200 + k * 120));
+            pts.push(GpsPoint::new(
+                32.0,
+                120.91 + 0.012 * k as f64,
+                1_200 + k * 120,
+            ));
         }
         for k in 0..10 {
             pts.push(GpsPoint::new(32.0, 120.96, 1_680 + (k + 1) * 120));

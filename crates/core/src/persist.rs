@@ -105,7 +105,9 @@ impl Lead {
         writeln!(
             w,
             "options {} {} {} {}",
-            options.use_poi, options.use_attention, options.hierarchical,
+            options.use_poi,
+            options.use_attention,
+            options.hierarchical,
             detector_tag(options.detector)
         )?;
         writeln!(
@@ -226,19 +228,25 @@ impl Lead {
                 break;
             }
             let Some(name) = section.strip_prefix("section ") else {
-                return Err(LoadError::Format(format!("expected section, got `{section}`")));
+                return Err(LoadError::Format(format!(
+                    "expected section, got `{section}`"
+                )));
             };
             match name {
                 "autoencoder" => read_params(lead.autoencoder_mut().params_mut(), r)?,
                 "forward_detector" => {
                     let det = lead.forward_det_mut().ok_or_else(|| {
-                        LoadError::Format("forward detector section without forward detector".into())
+                        LoadError::Format(
+                            "forward detector section without forward detector".into(),
+                        )
                     })?;
                     read_params(det.params_mut(), r)?;
                 }
                 "backward_detector" => {
                     let det = lead.backward_det_mut().ok_or_else(|| {
-                        LoadError::Format("backward detector section without backward detector".into())
+                        LoadError::Format(
+                            "backward detector section without backward detector".into(),
+                        )
                     })?;
                     read_params(det.params_mut(), r)?;
                 }
@@ -302,9 +310,21 @@ mod tests {
             })
             .collect();
         let pois = vec![
-            Poi { lat: 32.0, lng: 120.9, category: PoiCategory::ChemicalFactory },
-            Poi { lat: 32.0, lng: 120.9 + 5.0 * per_km, category: PoiCategory::Factory },
-            Poi { lat: 32.0, lng: 120.9 + 10.0 * per_km, category: PoiCategory::Restaurant },
+            Poi {
+                lat: 32.0,
+                lng: 120.9,
+                category: PoiCategory::ChemicalFactory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + 5.0 * per_km,
+                category: PoiCategory::Factory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + 10.0 * per_km,
+                category: PoiCategory::Restaurant,
+            },
         ];
         (samples, PoiDatabase::new(pois))
     }
@@ -313,7 +333,11 @@ mod tests {
     fn save_load_roundtrip_preserves_detections() {
         let (samples, db) = tiny_world();
         let cfg = LeadConfig::fast_test();
-        for options in [LeadOptions::full(), LeadOptions::no_gro(), LeadOptions::no_bac()] {
+        for options in [
+            LeadOptions::full(),
+            LeadOptions::no_gro(),
+            LeadOptions::no_bac(),
+        ] {
             let (lead, _) = Lead::fit(&samples, &db, &cfg, options);
             let mut buf = Vec::new();
             lead.write_to(&mut buf).unwrap();

@@ -56,32 +56,50 @@ impl LeadOptions {
 
     /// `LEAD-NoPoi`.
     pub fn no_poi() -> Self {
-        Self { use_poi: false, ..Self::full() }
+        Self {
+            use_poi: false,
+            ..Self::full()
+        }
     }
 
     /// `LEAD-NoSel`.
     pub fn no_sel() -> Self {
-        Self { use_attention: false, ..Self::full() }
+        Self {
+            use_attention: false,
+            ..Self::full()
+        }
     }
 
     /// `LEAD-NoHie`.
     pub fn no_hie() -> Self {
-        Self { hierarchical: false, ..Self::full() }
+        Self {
+            hierarchical: false,
+            ..Self::full()
+        }
     }
 
     /// `LEAD-NoGro`.
     pub fn no_gro() -> Self {
-        Self { detector: DetectorChoice::Mlp, ..Self::full() }
+        Self {
+            detector: DetectorChoice::Mlp,
+            ..Self::full()
+        }
     }
 
     /// `LEAD-NoFor`.
     pub fn no_for() -> Self {
-        Self { detector: DetectorChoice::BackwardOnly, ..Self::full() }
+        Self {
+            detector: DetectorChoice::BackwardOnly,
+            ..Self::full()
+        }
     }
 
     /// `LEAD-NoBac`.
     pub fn no_bac() -> Self {
-        Self { detector: DetectorChoice::ForwardOnly, ..Self::full() }
+        Self {
+            detector: DetectorChoice::ForwardOnly,
+            ..Self::full()
+        }
     }
 
     /// The paper's name for this variant.
@@ -323,17 +341,18 @@ impl Lead {
         // ---- processing + truth projection -------------------------------
         let mut skipped = 0usize;
         let mut process_set = |set: &[TrainSample]| -> Vec<(ProcessedTrajectory, Candidate)> {
-            let mut out = Vec::with_capacity(set.len());
-            for s in set {
-                let proc = ProcessedTrajectory::from_raw(&s.raw, config);
-                match truth_stay_indices(&proc, &s.truth) {
-                    Some((l, u)) if proc.num_stay_points() >= 2 => {
-                        out.push((proc, Candidate::new(l, u)));
+            let maybe: Vec<Option<(ProcessedTrajectory, Candidate)>> =
+                lead_nn::par::par_map(config.num_threads, set, |_, s| {
+                    let proc = ProcessedTrajectory::from_raw(&s.raw, config);
+                    match truth_stay_indices(&proc, &s.truth) {
+                        Some((l, u)) if proc.num_stay_points() >= 2 => {
+                            Some((proc, Candidate::new(l, u)))
+                        }
+                        _ => None,
                     }
-                    _ => skipped += 1,
-                }
-            }
-            out
+                });
+            skipped += maybe.iter().filter(|o| o.is_none()).count();
+            maybe.into_iter().flatten().collect()
         };
         let processed = process_set(samples);
         let val_processed = process_set(val_samples);
@@ -346,24 +365,37 @@ impl Lead {
 
         // ---- feature normalisation ----------------------------------------
         let mut fx = FeatureExtractor::new(poi_db, config, options.use_poi);
-        let mut rows = Vec::new();
-        for (proc, _) in &processed {
-            for p in proc.cleaned.points() {
-                rows.push(fx.raw_features(p));
-            }
-        }
+        // Rows are extracted per trajectory in parallel and flattened in
+        // trajectory order, so the fitted normaliser is thread-count
+        // independent.
+        let rows: Vec<Vec<f32>> = {
+            let fx_ref = &fx;
+            lead_nn::par::par_map(config.num_threads, &processed, |_, (proc, _)| {
+                proc.cleaned
+                    .points()
+                    .iter()
+                    .map(|p| fx_ref.raw_features(p))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
         fx.set_normalizer(Normalizer::fit(&rows));
         drop(rows);
 
         // ---- per-trajectory features ---------------------------------------
-        let features: Vec<TrajectoryFeatures> = processed
-            .iter()
-            .map(|(proc, _)| fx.trajectory_features(proc))
-            .collect();
-        let val_features: Vec<TrajectoryFeatures> = val_processed
-            .iter()
-            .map(|(proc, _)| fx.trajectory_features(proc))
-            .collect();
+        // Outer loop over trajectories is parallel; the inner extraction runs
+        // serial (threads = 1) to avoid nested thread spawning.
+        let fx_ref = &fx;
+        let features: Vec<TrajectoryFeatures> =
+            lead_nn::par::par_map(config.num_threads, &processed, |_, (proc, _)| {
+                fx_ref.trajectory_features(proc)
+            });
+        let val_features: Vec<TrajectoryFeatures> =
+            lead_nn::par::par_map(config.num_threads, &val_processed, |_, (proc, _)| {
+                fx_ref.trajectory_features(proc)
+            });
 
         // ---- autoencoder (self-supervised) ----------------------------------
         let kind = if options.hierarchical {
@@ -372,18 +404,19 @@ impl Lead {
             EncoderKind::Flat
         };
         let mut autoencoder = Autoencoder::new(config, kind, options.use_attention, &mut rng);
-        let sample_candidates =
-            |set: &[(ProcessedTrajectory, Candidate)], tfs: &[TrajectoryFeatures], rng: &mut StdRng| {
-                let mut out = Vec::new();
-                for ((proc, _), tf) in set.iter().zip(tfs) {
-                    let mut cands = proc.candidates.clone();
-                    cands.shuffle(rng);
-                    for c in cands.into_iter().take(config.ae_samples_per_trajectory) {
-                        out.push(tf.candidate(c));
-                    }
+        let sample_candidates = |set: &[(ProcessedTrajectory, Candidate)],
+                                 tfs: &[TrajectoryFeatures],
+                                 rng: &mut StdRng| {
+            let mut out = Vec::new();
+            for ((proc, _), tf) in set.iter().zip(tfs) {
+                let mut cands = proc.candidates.clone();
+                cands.shuffle(rng);
+                for c in cands.into_iter().take(config.ae_samples_per_trajectory) {
+                    out.push(tf.candidate(c));
                 }
-                out
-            };
+            }
+            out
+        };
         let ae_samples = sample_candidates(&processed, &features, &mut rng);
         let ae_val_samples = sample_candidates(&val_processed, &val_features, &mut rng);
         let val_opt = (!ae_val_samples.is_empty()).then_some(ae_val_samples.as_slice());
@@ -395,16 +428,17 @@ impl Lead {
         drop(ae_val_samples);
 
         // ---- candidate encoding (compressor frozen) --------------------------
-        let encoded: Vec<Vec<Matrix>> = processed
-            .iter()
-            .zip(&features)
-            .map(|((proc, _), tf)| autoencoder.encode_all(tf, &proc.candidates))
-            .collect();
-        let val_encoded: Vec<Vec<Matrix>> = val_processed
-            .iter()
-            .zip(&val_features)
-            .map(|((proc, _), tf)| autoencoder.encode_all(tf, &proc.candidates))
-            .collect();
+        // Parallel across trajectories; the per-trajectory encoding runs
+        // serial (threads = 1) so threads are never nested.
+        let ae_ref = &autoencoder;
+        let encoded: Vec<Vec<Matrix>> =
+            lead_nn::par::par_map(config.num_threads, &features, |i, tf| {
+                ae_ref.encode_all(tf, &processed[i].0.candidates, 1)
+            });
+        let val_encoded: Vec<Vec<Matrix>> =
+            lead_nn::par::par_map(config.num_threads, &val_features, |i, tf| {
+                ae_ref.encode_all(tf, &val_processed[i].0.candidates, 1)
+            });
 
         // ---- detectors ---------------------------------------------------------
         let c_dim = autoencoder.c_vec_dim();
@@ -415,26 +449,28 @@ impl Lead {
                               enc: &[Vec<Matrix>],
                               forward: bool|
          -> Vec<(Vec<Vec<Matrix>>, Matrix)> {
-            set.iter()
-                .zip(enc)
-                .map(|((proc, truth), cvecs)| {
-                    let n = proc.num_stay_points();
-                    let by_cand = candidate_index_map(n);
-                    let groups = build_groups(n);
-                    let side = if forward { &groups.forward } else { &groups.backward };
-                    let group: Vec<Vec<Matrix>> = side
-                        .iter()
-                        .map(|sub| sub.iter().map(|c| cvecs[by_cand(*c)].clone()).collect())
-                        .collect();
-                    let order = if forward {
-                        forward_flat_order(n)
-                    } else {
-                        backward_flat_order(n)
-                    };
-                    let label = smoothed_label(&order, *truth, config.label_epsilon);
-                    (group, label)
-                })
-                .collect()
+            lead_nn::par::par_map(config.num_threads, set, |idx, (proc, truth)| {
+                let cvecs = &enc[idx];
+                let n = proc.num_stay_points();
+                let by_cand = candidate_index_map(n);
+                let groups = build_groups(n);
+                let side = if forward {
+                    &groups.forward
+                } else {
+                    &groups.backward
+                };
+                let group: Vec<Vec<Matrix>> = side
+                    .iter()
+                    .map(|sub| sub.iter().map(|c| cvecs[by_cand(*c)].clone()).collect())
+                    .collect();
+                let order = if forward {
+                    forward_flat_order(n)
+                } else {
+                    backward_flat_order(n)
+                };
+                let label = smoothed_label(&order, *truth, config.label_epsilon);
+                (group, label)
+            })
         };
         let train_group_detector =
             |forward: bool, rng: &mut StdRng| -> (GroupDetector, Vec<f32>, Vec<f32>) {
@@ -496,10 +532,7 @@ impl Lead {
         let lead = Lead {
             config: config.clone(),
             options,
-            normalizer: fx
-                .normalizer()
-                .expect("normaliser fitted above")
-                .clone(),
+            normalizer: fx.normalizer().expect("normaliser fitted above").clone(),
             autoencoder,
             forward_det,
             backward_det,
@@ -521,9 +554,41 @@ impl Lead {
     /// The online stage: detects the loaded trajectory of an unseen raw
     /// trajectory. Returns `None` when fewer than two stay points are
     /// extracted (no candidate exists).
-    pub fn detect(&self, raw: &lead_geo::Trajectory, poi_db: &PoiDatabase) -> Option<DetectionResult> {
+    pub fn detect(
+        &self,
+        raw: &lead_geo::Trajectory,
+        poi_db: &PoiDatabase,
+    ) -> Option<DetectionResult> {
+        self.detect_with_threads(raw, poi_db, self.config.num_threads)
+    }
+
+    /// Detects every raw trajectory of a batch, parallel across
+    /// trajectories. Results keep the input order; a trajectory with fewer
+    /// than two stay points yields `None`, exactly as [`Self::detect`].
+    pub fn detect_batch(
+        &self,
+        raws: &[lead_geo::Trajectory],
+        poi_db: &PoiDatabase,
+    ) -> Vec<Option<DetectionResult>> {
+        // Parallel across trajectories; each single detection runs serial
+        // (threads = 1) so threads are never nested.
+        lead_nn::par::par_map(self.config.num_threads, raws, |_, raw| {
+            self.detect_with_threads(raw, poi_db, 1)
+        })
+    }
+
+    /// [`Self::detect`] with an explicit thread count, overriding
+    /// `config.num_threads`. Callers that already parallelise across
+    /// trajectories (for example an evaluation sweep) should pass `1` so
+    /// thread pools are never nested.
+    pub fn detect_with_threads(
+        &self,
+        raw: &lead_geo::Trajectory,
+        poi_db: &PoiDatabase,
+        num_threads: usize,
+    ) -> Option<DetectionResult> {
         let proc = ProcessedTrajectory::from_raw(raw, &self.config);
-        self.detect_processed(proc, poi_db)
+        self.detect_processed_threads(proc, poi_db, num_threads)
     }
 
     /// Scores an already-processed trajectory (used by [`Self::detect`] and
@@ -534,14 +599,25 @@ impl Lead {
         proc: ProcessedTrajectory,
         poi_db: &PoiDatabase,
     ) -> Option<DetectionResult> {
+        self.detect_processed_threads(proc, poi_db, self.config.num_threads)
+    }
+
+    fn detect_processed_threads(
+        &self,
+        proc: ProcessedTrajectory,
+        poi_db: &PoiDatabase,
+        num_threads: usize,
+    ) -> Option<DetectionResult> {
         let n = proc.num_stay_points();
         if n < 2 {
             return None;
         }
         let mut fx = FeatureExtractor::new(poi_db, &self.config, self.options.use_poi);
         fx.set_normalizer(self.normalizer.clone());
-        let tf = fx.trajectory_features(&proc);
-        let cvecs = self.autoencoder.encode_all(&tf, &proc.candidates);
+        let tf = fx.trajectory_features_par(&proc, num_threads);
+        let cvecs = self
+            .autoencoder
+            .encode_all(&tf, &proc.candidates, num_threads);
         let by_cand = candidate_index_map(n);
 
         let probabilities = match self.options.detector {
@@ -565,7 +641,9 @@ impl Lead {
                             &groups.forward,
                         );
                         let b = run(
-                            self.backward_det.as_ref().expect("backward detector trained"),
+                            self.backward_det
+                                .as_ref()
+                                .expect("backward detector trained"),
                             &groups.backward,
                         );
                         merge_probabilities(n, &f, &b)
@@ -578,7 +656,9 @@ impl Lead {
                         // Backward probabilities come in backward flattening;
                         // re-order to canonical.
                         let b = run(
-                            self.backward_det.as_ref().expect("backward detector trained"),
+                            self.backward_det
+                                .as_ref()
+                                .expect("backward detector trained"),
                             &groups.backward,
                         );
                         reorder_backward_to_canonical(n, &b)
@@ -588,7 +668,7 @@ impl Lead {
             }
         };
 
-        let detected = argmax_candidate(n, &probabilities);
+        let detected = argmax_candidate(n, &probabilities)?;
         Some(DetectionResult {
             processed: proc,
             probabilities,

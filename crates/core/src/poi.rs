@@ -146,7 +146,9 @@ impl PoiCategory {
         match self {
             ChemicalFactory | OilDepot | Port | FuelStorage | ChemicalWarehouse => PoiRole::Loading,
             Hospital | Factory | ConstructionSite | PowerPlant | IndustrialPark
-            | WaterTreatmentPlant | SteelMill | PharmaceuticalPlant | PaperMill => PoiRole::Unloading,
+            | WaterTreatmentPlant | SteelMill | PharmaceuticalPlant | PaperMill => {
+                PoiRole::Unloading
+            }
             FuelingStation => PoiRole::LoadingAndBreak,
             _ => PoiRole::Ordinary,
         }
@@ -226,9 +228,10 @@ impl PoiDatabase {
         radius_m: f64,
     ) -> [u32; NUM_POI_CATEGORIES] {
         let mut counts = [0u32; NUM_POI_CATEGORIES];
-        self.index.for_each_within(lat, lng, radius_m, |_, _, cat, _| {
-            counts[cat.index()] += 1;
-        });
+        self.index
+            .for_each_within(lat, lng, radius_m, |_, _, cat, _| {
+                counts[cat.index()] += 1;
+            });
         counts
     }
 
@@ -310,9 +313,21 @@ mod tests {
     fn counts_within_radius() {
         let dlng = meters_to_lng_deg(50.0, 32.0);
         let db = PoiDatabase::new(vec![
-            Poi { lat: 32.0, lng: 120.9, category: PoiCategory::ChemicalFactory },
-            Poi { lat: 32.0, lng: 120.9 + dlng, category: PoiCategory::Restaurant },
-            Poi { lat: 32.0, lng: 120.9 + 10.0 * dlng, category: PoiCategory::Hospital },
+            Poi {
+                lat: 32.0,
+                lng: 120.9,
+                category: PoiCategory::ChemicalFactory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + dlng,
+                category: PoiCategory::Restaurant,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + 10.0 * dlng,
+                category: PoiCategory::Hospital,
+            },
         ]);
         let counts = db.category_counts_within(32.0, 120.9, 100.0);
         assert_eq!(counts[PoiCategory::ChemicalFactory.index()], 1);
@@ -333,7 +348,11 @@ mod tests {
             });
         }
         let db = PoiDatabase::new(pois);
-        for &(qlat, qlng, r) in &[(32.01, 120.92, 100.0), (32.02, 120.91, 500.0), (32.0, 120.9, 2000.0)] {
+        for &(qlat, qlng, r) in &[
+            (32.01, 120.92, 100.0),
+            (32.02, 120.91, 500.0),
+            (32.0, 120.9, 2000.0),
+        ] {
             assert_eq!(
                 db.category_counts_within(qlat, qlng, r),
                 db.category_counts_within_scan(qlat, qlng, r)
@@ -355,8 +374,16 @@ mod tests {
     fn nearest_within_returns_closest_poi() {
         let dlng = meters_to_lng_deg(50.0, 32.0);
         let db = PoiDatabase::new(vec![
-            Poi { lat: 32.0, lng: 120.9, category: PoiCategory::ChemicalFactory },
-            Poi { lat: 32.0, lng: 120.9 + dlng, category: PoiCategory::Restaurant },
+            Poi {
+                lat: 32.0,
+                lng: 120.9,
+                category: PoiCategory::ChemicalFactory,
+            },
+            Poi {
+                lat: 32.0,
+                lng: 120.9 + dlng,
+                category: PoiCategory::Restaurant,
+            },
         ]);
         let (poi, d) = db.nearest_within(32.0, 120.9 + dlng * 0.8, 200.0).unwrap();
         assert_eq!(poi.category, PoiCategory::Restaurant);
@@ -368,6 +395,9 @@ mod tests {
     fn empty_database_counts_zero() {
         let db = PoiDatabase::new(Vec::new());
         assert!(db.is_empty());
-        assert_eq!(db.category_counts_within(32.0, 120.9, 100.0), [0; NUM_POI_CATEGORIES]);
+        assert_eq!(
+            db.category_counts_within(32.0, 120.9, 100.0),
+            [0; NUM_POI_CATEGORIES]
+        );
     }
 }

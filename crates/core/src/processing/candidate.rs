@@ -17,7 +17,10 @@ impl Candidate {
     /// # Panics
     /// Panics unless `start_sp < end_sp`.
     pub fn new(start_sp: usize, end_sp: usize) -> Self {
-        assert!(start_sp < end_sp, "candidate must span at least two stay points");
+        assert!(
+            start_sp < end_sp,
+            "candidate must span at least two stay points"
+        );
         Self { start_sp, end_sp }
     }
 }
@@ -30,7 +33,10 @@ pub fn enumerate_candidates(n: usize) -> Vec<Candidate> {
     let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for i in 0..n {
         for j in (i + 1)..n {
-            out.push(Candidate { start_sp: i, end_sp: j });
+            out.push(Candidate {
+                start_sp: i,
+                end_sp: j,
+            });
         }
     }
     out
@@ -53,8 +59,7 @@ mod tests {
     #[test]
     fn order_is_forward_canonical() {
         let c = enumerate_candidates(4);
-        let expect: Vec<(usize, usize)> =
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let expect: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
         assert_eq!(
             c.iter().map(|c| (c.start_sp, c.end_sp)).collect::<Vec<_>>(),
             expect

@@ -76,7 +76,10 @@ impl ProcessedTrajectory {
     /// # Panics
     /// Panics if `k + 1 >= stay_points.len()`.
     pub fn move_point_range(&self, k: usize) -> (usize, usize) {
-        assert!(k + 1 < self.stay_points.len(), "move point index out of range");
+        assert!(
+            k + 1 < self.stay_points.len(),
+            "move point index out of range"
+        );
         (self.stay_points[k].end, self.stay_points[k + 1].start)
     }
 

@@ -57,7 +57,10 @@ mod tests {
         pts[10].lat += 0.072;
         let filtered = filter_noise(&Trajectory::new(pts.clone()), 130.0);
         assert_eq!(filtered.len(), 19);
-        assert!(filtered.points().iter().all(|p| (p.lat - 32.0).abs() < 0.01));
+        assert!(filtered
+            .points()
+            .iter()
+            .all(|p| (p.lat - 32.0).abs() < 0.01));
     }
 
     #[test]
@@ -83,10 +86,7 @@ mod tests {
     fn zero_dt_jump_is_removed() {
         let mut pts = straight(5, 20.0);
         // Duplicate timestamp with a displaced location: infinite speed.
-        pts.insert(
-            3,
-            GpsPoint::new(32.05, pts[2].lng, pts[2].t),
-        );
+        pts.insert(3, GpsPoint::new(32.05, pts[2].lng, pts[2].t));
         let filtered = filter_noise(&Trajectory::new_unchecked(pts), 130.0);
         assert_eq!(filtered.len(), 5);
     }

@@ -34,7 +34,10 @@ impl StayPoint {
 /// are temporally consecutive and non-overlapping, "convenient for stay
 /// points numbering"). Otherwise the anchor advances by one.
 pub fn extract_stay_points(tr: &Trajectory, d_max_m: f64, t_min_s: f64) -> Vec<StayPoint> {
-    assert!(d_max_m > 0.0 && t_min_s > 0.0, "thresholds must be positive");
+    assert!(
+        d_max_m > 0.0 && t_min_s > 0.0,
+        "thresholds must be positive"
+    );
     let pts = tr.points();
     let n = pts.len();
     let mut stays = Vec::new();
@@ -97,7 +100,9 @@ mod tests {
     #[test]
     fn moving_track_has_no_stay_points() {
         // 1 km between consecutive samples.
-        let pts: Vec<(f64, i64)> = (0..30).map(|i| (i as f64 * 1_000.0, i as i64 * INTERVAL)).collect();
+        let pts: Vec<(f64, i64)> = (0..30)
+            .map(|i| (i as f64 * 1_000.0, i as i64 * INTERVAL))
+            .collect();
         let tr = traj(&pts);
         assert!(extract_stay_points(&tr, 500.0, 900.0).is_empty());
     }
@@ -161,14 +166,18 @@ mod tests {
         // A slow drift: consecutive points 300 m apart (within D_max of each
         // other) but the run leaves the anchor's 500 m disc quickly, so no
         // stay point forms even over a long time.
-        let pts: Vec<(f64, i64)> = (0..20).map(|k| (k as f64 * 300.0, k as i64 * INTERVAL)).collect();
+        let pts: Vec<(f64, i64)> = (0..20)
+            .map(|k| (k as f64 * 300.0, k as i64 * INTERVAL))
+            .collect();
         let tr = traj(&pts);
         assert!(extract_stay_points(&tr, 500.0, 900.0).is_empty());
     }
 
     #[test]
     fn trailing_dwell_at_end_of_trajectory_is_extracted() {
-        let mut pts: Vec<(f64, i64)> = (0..5).map(|k| (k as f64 * 2_000.0, k as i64 * INTERVAL)).collect();
+        let mut pts: Vec<(f64, i64)> = (0..5)
+            .map(|k| (k as f64 * 2_000.0, k as i64 * INTERVAL))
+            .collect();
         let t0 = 5 * INTERVAL;
         pts.extend(dwell(8_000.0 + 2_000.0, t0, 10));
         let tr = traj(&pts);

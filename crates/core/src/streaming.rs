@@ -78,9 +78,7 @@ impl IncrementalStayExtractor {
                 break; // run still open at buffer end
             };
             let run_end = j - 1;
-            if run_end > self.anchor
-                && points[run_end].t - points[self.anchor].t >= self.t_min_s
-            {
+            if run_end > self.anchor && points[run_end].t - points[self.anchor].t >= self.t_min_s {
                 emitted.push(StayPoint {
                     start: self.anchor,
                     end: run_end,
@@ -250,7 +248,8 @@ mod tests {
         use crate::features::{Normalizer, FEATURE_DIM};
         use crate::pipeline::LeadOptions;
         let cfg = LeadConfig::fast_test();
-        let model = Lead::new_untrained(&cfg, LeadOptions::full(), Normalizer::identity(FEATURE_DIM));
+        let model =
+            Lead::new_untrained(&cfg, LeadOptions::full(), Normalizer::identity(FEATURE_DIM));
         let db = PoiDatabase::new(vec![]);
         (model, db)
     }
@@ -316,7 +315,10 @@ mod tests {
                 assert!(stream.stay_points().len() >= 2);
             }
         }
-        assert!(first_hypothesis_at.is_some(), "no rolling hypothesis emitted");
+        assert!(
+            first_hypothesis_at.is_some(),
+            "no rolling hypothesis emitted"
+        );
     }
 
     #[test]
@@ -329,6 +331,22 @@ mod tests {
         let result = stream.finish().expect("three stays → detectable");
         assert!(result.processed.num_stay_points() >= 2);
         assert!(result.detected.start_sp < result.detected.end_sp);
+    }
+
+    #[test]
+    fn fewer_than_two_stays_finish_none_without_panicking() {
+        let (model, db) = dummy_model();
+        // No points at all.
+        let stream = StreamingDetector::new(&model, &db);
+        assert!(stream.finish().is_none());
+        // A single dwell (one stay point): still no candidate.
+        let mut stream = StreamingDetector::new(&model, &db);
+        let mut t = 0;
+        for _ in 0..20 {
+            stream.push(GpsPoint::new(32.0, 120.9, t));
+            t += 120;
+        }
+        assert!(stream.finish().is_none());
     }
 
     #[test]

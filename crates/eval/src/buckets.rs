@@ -15,7 +15,12 @@ pub enum Bucket {
 
 impl Bucket {
     /// All buckets in order.
-    pub const ALL: [Bucket; 4] = [Bucket::B3to5, Bucket::B6to8, Bucket::B9to11, Bucket::B12to14];
+    pub const ALL: [Bucket; 4] = [
+        Bucket::B3to5,
+        Bucket::B6to8,
+        Bucket::B9to11,
+        Bucket::B12to14,
+    ];
 
     /// The bucket of a trajectory with `n` extracted stay points.
     ///

@@ -54,8 +54,8 @@ impl ErrorBreakdown {
             DetectionOutcome::UnloadingOnly => self.unloading_only += 1,
             DetectionOutcome::BothWrong => self.both_wrong += 1,
         }
-        self.total_offset += detected.start_sp.abs_diff(truth.start_sp)
-            + detected.end_sp.abs_diff(truth.end_sp);
+        self.total_offset +=
+            detected.start_sp.abs_diff(truth.start_sp) + detected.end_sp.abs_diff(truth.end_sp);
         outcome
     }
 

@@ -119,7 +119,10 @@ mod tests {
         // Containment: |inner| / |outer|.
         assert!((interval_iou((25, 75), (0, 100)) - 0.5).abs() < 1e-12);
         // Symmetry.
-        assert_eq!(interval_iou((0, 60), (30, 90)), interval_iou((30, 90), (0, 60)));
+        assert_eq!(
+            interval_iou((0, 60), (30, 90)),
+            interval_iou((30, 90), (0, 60))
+        );
     }
 
     #[test]

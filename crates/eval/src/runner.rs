@@ -94,10 +94,7 @@ pub fn to_train_samples(samples: &[Sample]) -> Vec<TrainSample> {
 
 /// Processes a test sample once and projects its ground truth; `None` when
 /// the truth does not map onto extracted stay points.
-pub fn test_case(
-    sample: &Sample,
-    config: &LeadConfig,
-) -> Option<(ProcessedTrajectory, Candidate)> {
+pub fn test_case(sample: &Sample, config: &LeadConfig) -> Option<(ProcessedTrajectory, Candidate)> {
     let proc = ProcessedTrajectory::from_raw(&sample.raw, config);
     let (l, u) = truth_stay_indices(&proc, &sample.truth)?;
     Some((proc, Candidate::new(l, u)))
@@ -122,7 +119,10 @@ pub fn train_and_evaluate(
         Lead(Box<Lead>),
     }
     let (model, report) = match method {
-        Method::SpR => (Model::SpR(SpR::fit(&train, lead_config)), TrainingReport::default()),
+        Method::SpR => (
+            Model::SpR(SpR::fit(&train, lead_config)),
+            TrainingReport::default(),
+        ),
         Method::SpGru => {
             let (m, _curve) = SpRnn::fit(RnnKind::Gru, &train, poi_db, lead_config, rnn_config);
             (Model::Rnn(m), TrainingReport::default())
@@ -143,26 +143,37 @@ pub fn train_and_evaluate(
     let mut iou = BucketIou::new();
     let mut excluded = 0;
 
-    for sample in &dataset.test {
-        let Some((proc, truth_cand)) = test_case(sample, lead_config) else {
-            excluded += 1;
-            continue;
-        };
+    // The test sweep is data-parallel across samples (each detection runs
+    // with 1 inner thread so pools are never nested); metrics are folded in
+    // sample order afterwards, so bucket statistics are thread-count
+    // independent. Per-sample wall-clock is measured inside the worker.
+    let model_ref = &model;
+    let per_sample = lead_nn::par::par_map(lead_config.num_threads, &dataset.test, |_, sample| {
+        let (proc, truth_cand) = test_case(sample, lead_config)?;
         let n = proc.num_stay_points();
         let t = Instant::now();
-        let detected: Option<Candidate> = match &model {
+        let detected: Option<Candidate> = match model_ref {
             Model::SpR(m) => m.detect(&sample.raw).map(|d| d.candidate()),
             Model::Rnn(m) => m.detect(&sample.raw, poi_db).map(|d| d.candidate()),
-            Model::Lead(m) => m.detect(&sample.raw, poi_db).map(|d| d.detected),
+            Model::Lead(m) => m
+                .detect_with_threads(&sample.raw, poi_db, 1)
+                .map(|d| d.detected),
         };
         let elapsed = t.elapsed();
         let hit = detected == Some(truth_cand);
-        accuracy.record(n, hit);
-        timing.record(n, elapsed);
         let truth_interval = (sample.truth.load_start_s, sample.truth.unload_end_s);
         let detected_iou = detected
             .map(|c| interval_iou(candidate_interval(&proc, c), truth_interval))
             .unwrap_or(0.0);
+        Some((n, hit, elapsed, detected_iou))
+    });
+    for outcome in per_sample {
+        let Some((n, hit, elapsed, detected_iou)) = outcome else {
+            excluded += 1;
+            continue;
+        };
+        accuracy.record(n, hit);
+        timing.record(n, elapsed);
         iou.record(n, detected_iou);
     }
 
@@ -213,7 +224,15 @@ mod tests {
         let names4: Vec<&str> = Method::table4().iter().map(|m| m.name()).collect();
         assert_eq!(
             names4,
-            ["LEAD-NoPoi", "LEAD-NoSel", "LEAD-NoHie", "LEAD-NoGro", "LEAD-NoFor", "LEAD-NoBac", "LEAD"]
+            [
+                "LEAD-NoPoi",
+                "LEAD-NoSel",
+                "LEAD-NoHie",
+                "LEAD-NoGro",
+                "LEAD-NoFor",
+                "LEAD-NoBac",
+                "LEAD"
+            ]
         );
     }
 

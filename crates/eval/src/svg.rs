@@ -56,11 +56,21 @@ impl SvgMap {
     }
 
     /// Draws a polyline through `points`.
-    pub fn polyline(&mut self, points: &[GpsPoint], stroke: &'static str, width: f64, opacity: f64) {
+    pub fn polyline(
+        &mut self,
+        points: &[GpsPoint],
+        stroke: &'static str,
+        width: f64,
+        opacity: f64,
+    ) {
         if points.len() < 2 {
             return;
         }
-        let style = Style { stroke, width, opacity };
+        let style = Style {
+            stroke,
+            width,
+            opacity,
+        };
         let mut d = String::with_capacity(points.len() * 16);
         for (i, p) in points.iter().enumerate() {
             let (x, y) = self.xy(p.lat, p.lng);
@@ -134,7 +144,11 @@ pub fn render_detection(
     for (k, sp) in proc.stay_points.iter().enumerate() {
         if let Some((lat, lng)) = proc.cleaned.slice(sp.start, sp.end).centroid() {
             let endpoint = k == detected.start_sp || k == detected.end_sp;
-            let (r, fill) = if endpoint { (6.0, "#cc2222") } else { (3.5, "#2255cc") };
+            let (r, fill) = if endpoint {
+                (6.0, "#cc2222")
+            } else {
+                (3.5, "#2255cc")
+            };
             map.circle(lat, lng, r, fill, 0.9);
             map.label(lat, lng, &format!("sp{k}"), 10);
         }

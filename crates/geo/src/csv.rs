@@ -87,7 +87,10 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>
         let lat: f64 = parse_field(&mut parts, lineno, "lat")?;
         let lng: f64 = parse_field(&mut parts, lineno, "lng")?;
         if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lng) {
-            return Err(CsvError::Parse(lineno, format!("coordinates out of range: {lat},{lng}")));
+            return Err(CsvError::Parse(
+                lineno,
+                format!("coordinates out of range: {lat},{lng}"),
+            ));
         }
         if current_id != Some(id) {
             flush(&mut out, current_id, &mut points, lineno)?;
@@ -155,7 +158,11 @@ mod tests {
     #[test]
     fn roundtrip_two_trucks() {
         let a = tr(&[(32.0, 120.9, 0), (32.01, 120.91, 120)]);
-        let b = tr(&[(31.9, 120.8, 60), (31.91, 120.81, 180), (31.92, 120.82, 300)]);
+        let b = tr(&[
+            (31.9, 120.8, 60),
+            (31.91, 120.81, 180),
+            (31.92, 120.82, 300),
+        ]);
         let mut buf = Vec::new();
         write_trajectories(&[(7, &a), (9, &b)], &mut buf).unwrap();
         let got = read_trajectories(&mut buf.as_slice()).unwrap();

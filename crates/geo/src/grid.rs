@@ -86,8 +86,10 @@ impl<T> GridIndex<T> {
         lat: f64,
         lng: f64,
     ) -> (usize, usize) {
-        let r = (((lat - bbox.min_lat) / cell_lat_deg).floor() as isize).clamp(0, rows as isize - 1);
-        let c = (((lng - bbox.min_lng) / cell_lng_deg).floor() as isize).clamp(0, cols as isize - 1);
+        let r =
+            (((lat - bbox.min_lat) / cell_lat_deg).floor() as isize).clamp(0, rows as isize - 1);
+        let c =
+            (((lng - bbox.min_lng) / cell_lng_deg).floor() as isize).clamp(0, cols as isize - 1);
         (r as usize, c as usize)
     }
 

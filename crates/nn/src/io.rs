@@ -50,7 +50,13 @@ impl From<std::io::Error> for ReadError {
 pub fn write_params<W: Write>(params: &ParamSet, w: &mut W) -> std::io::Result<()> {
     writeln!(w, "leadnn-params v1")?;
     for (id, value) in params.iter() {
-        writeln!(w, "param {} {} {}", params.name(id), value.rows(), value.cols())?;
+        writeln!(
+            w,
+            "param {} {} {}",
+            params.name(id),
+            value.rows(),
+            value.cols()
+        )?;
         let mut line = String::with_capacity(value.len() * 9);
         for (i, v) in value.data().iter().enumerate() {
             if i > 0 {
@@ -94,7 +100,11 @@ pub fn read_params<R: BufRead>(params: &mut ParamSet, r: &mut R) -> Result<(), R
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("param") => {}
-            other => return Err(ReadError::Format(format!("expected `param`, got {other:?}"))),
+            other => {
+                return Err(ReadError::Format(format!(
+                    "expected `param`, got {other:?}"
+                )))
+            }
         }
         let name = parts
             .next()
@@ -102,9 +112,9 @@ pub fn read_params<R: BufRead>(params: &mut ParamSet, r: &mut R) -> Result<(), R
             .to_string();
         let rows: usize = parse_dim(parts.next(), "rows")?;
         let cols: usize = parse_dim(parts.next(), "cols")?;
-        let id = by_name
-            .remove(&name)
-            .ok_or_else(|| ReadError::Mismatch(format!("unknown or duplicate parameter `{name}`")))?;
+        let id = by_name.remove(&name).ok_or_else(|| {
+            ReadError::Mismatch(format!("unknown or duplicate parameter `{name}`"))
+        })?;
         let expect = params.value(id).shape();
         if expect != (rows, cols) {
             return Err(ReadError::Mismatch(format!(
@@ -179,15 +189,26 @@ mod tests {
     #[test]
     fn special_values_survive() {
         let mut ps = ParamSet::new();
-        let id = ps.register("w", Matrix::from_vec(1, 4, vec![0.0, -0.0, f32::MIN_POSITIVE, 1e-38]));
+        let id = ps.register(
+            "w",
+            Matrix::from_vec(1, 4, vec![0.0, -0.0, f32::MIN_POSITIVE, 1e-38]),
+        );
         let mut buf = Vec::new();
         write_params(&ps, &mut buf).unwrap();
         let mut dst = ParamSet::new();
         dst.register("w", Matrix::zeros(1, 4));
         read_params(&mut dst, &mut buf.as_slice()).unwrap();
         assert_eq!(
-            ps.value(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            dst.value(id).data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            ps.value(id)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            dst.value(id)
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
         );
     }
 

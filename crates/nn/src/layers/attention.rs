@@ -34,9 +34,15 @@ impl SelfAttention {
         key_dim: usize,
     ) -> Self {
         let wq = ps.register(format!("{name}.wq"), xavier_uniform(rng, hidden, key_dim));
-        let bq = ps.register(format!("{name}.bq"), crate::matrix::Matrix::zeros(1, key_dim));
+        let bq = ps.register(
+            format!("{name}.bq"),
+            crate::matrix::Matrix::zeros(1, key_dim),
+        );
         let wk = ps.register(format!("{name}.wk"), xavier_uniform(rng, hidden, key_dim));
-        let bk = ps.register(format!("{name}.bk"), crate::matrix::Matrix::zeros(1, key_dim));
+        let bk = ps.register(
+            format!("{name}.bk"),
+            crate::matrix::Matrix::zeros(1, key_dim),
+        );
         Self {
             wq,
             bq,

@@ -30,8 +30,14 @@ impl Gru {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = ps.register(format!("{name}.wx"), xavier_uniform(rng, in_dim, 3 * hidden));
-        let wh = ps.register(format!("{name}.wh"), xavier_uniform(rng, hidden, 3 * hidden));
+        let wx = ps.register(
+            format!("{name}.wx"),
+            xavier_uniform(rng, in_dim, 3 * hidden),
+        );
+        let wh = ps.register(
+            format!("{name}.wh"),
+            xavier_uniform(rng, hidden, 3 * hidden),
+        );
         let b = ps.register(format!("{name}.b"), Matrix::zeros(1, 3 * hidden));
         Self {
             wx,

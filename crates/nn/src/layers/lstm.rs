@@ -31,8 +31,14 @@ impl Lstm {
         in_dim: usize,
         hidden: usize,
     ) -> Self {
-        let wx = ps.register(format!("{name}.wx"), xavier_uniform(rng, in_dim, 4 * hidden));
-        let wh = ps.register(format!("{name}.wh"), xavier_uniform(rng, hidden, 4 * hidden));
+        let wx = ps.register(
+            format!("{name}.wx"),
+            xavier_uniform(rng, in_dim, 4 * hidden),
+        );
+        let wh = ps.register(
+            format!("{name}.wh"),
+            xavier_uniform(rng, hidden, 4 * hidden),
+        );
         let mut bias = Matrix::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
             bias.set(0, c, 1.0); // forget gate

@@ -14,6 +14,7 @@
 //!   `SelfAttention`, mirroring the operators of the paper;
 //! - [`optim`] — Adam(W) (the paper's optimiser) and SGD;
 //! - [`io`] — lossless text serialisation of trained parameters;
+//! - [`par`] — scoped-thread data-parallel map with a determinism contract;
 //! - [`train`] — batch-accumulation loop helpers and early stopping;
 //! - [`testing`] — finite-difference gradient checking.
 //!
@@ -45,6 +46,7 @@ pub mod io;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
+pub mod par;
 pub mod params;
 pub mod tape;
 pub mod testing;

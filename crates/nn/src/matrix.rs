@@ -68,7 +68,11 @@ impl Matrix {
     /// A 1×n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -291,7 +295,11 @@ impl Matrix {
 
     /// `self += rhs * s` in place; shapes must match.
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, s: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b * s;
         }
@@ -377,8 +385,7 @@ impl Matrix {
         assert!(c0 < c1 && c1 <= self.cols, "slice_cols out of range");
         let mut out = Matrix::zeros(self.rows, c1 - c0);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[c0..c1]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[c0..c1]);
         }
         out
     }

@@ -117,7 +117,11 @@ impl Gradients {
     /// Adds `other`'s gradients into `self` (gradient accumulation across the
     /// paper's `B = 64` consecutive samples).
     pub fn accumulate(&mut self, other: &Gradients) {
-        assert_eq!(self.grads.len(), other.grads.len(), "gradient arity mismatch");
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "gradient arity mismatch"
+        );
         for (g, o) in self.grads.iter_mut().zip(other.grads.iter()) {
             g.add_assign(o);
         }

@@ -286,7 +286,11 @@ impl<'p> Graph<'p> {
         let diff = self.value(a).sub(target);
         let v = diff.data().iter().map(|&d| d * d).sum::<f32>() / diff.len() as f32;
         let ng = self.needs(a);
-        self.push(Matrix::from_vec(1, 1, vec![v]), Op::MseLoss(a, target.clone()), ng)
+        self.push(
+            Matrix::from_vec(1, 1, vec![v]),
+            Op::MseLoss(a, target.clone()),
+            ng,
+        )
     }
 
     /// Fused KL-divergence loss `Σ p·ln(p/q)` against constant distribution
@@ -301,7 +305,11 @@ impl<'p> Graph<'p> {
             v += pi * (pi / qi).ln();
         }
         let ng = self.needs(q);
-        self.push(Matrix::from_vec(1, 1, vec![v]), Op::KldLoss(q, p.clone()), ng)
+        self.push(
+            Matrix::from_vec(1, 1, vec![v]),
+            Op::KldLoss(q, p.clone()),
+            ng,
+        )
     }
 
     /// Fused numerically-stable binary cross-entropy on logits `z` against

@@ -62,6 +62,38 @@ impl AccumTrainer {
         }
     }
 
+    /// Runs one accumulation window data-parallel: computes every item's
+    /// `(loss, gradients)` with `f` against the shared read-only parameter
+    /// snapshot, then submits the gradients **in item order**. Because the
+    /// reduction order is fixed and each item's arithmetic is independent of
+    /// thread interleaving, the resulting parameters (and the returned
+    /// per-item losses) are bit-identical for every `num_threads`, including
+    /// the exact serial path at `num_threads = 1`.
+    ///
+    /// Callers who want parity with a plain per-sample `submit` loop should
+    /// pass windows of at most `batch` items so optimiser steps land on the
+    /// same sample boundaries.
+    pub fn submit_window<T, F>(
+        &mut self,
+        params: &mut ParamSet,
+        num_threads: usize,
+        items: &[T],
+        f: F,
+    ) -> Vec<f32>
+    where
+        T: Sync,
+        F: Fn(usize, &T, &ParamSet) -> (f32, Gradients) + Sync,
+    {
+        let snapshot: &ParamSet = params;
+        let results = crate::par::par_map(num_threads, items, |i, item| f(i, item, snapshot));
+        let mut losses = Vec::with_capacity(results.len());
+        for (loss, grads) in results {
+            losses.push(loss);
+            self.submit(params, grads);
+        }
+        losses
+    }
+
     /// Applies any partially filled batch (end of epoch).
     pub fn flush(&mut self, params: &mut ParamSet) {
         if self.pending > 0 {
@@ -211,6 +243,46 @@ mod tests {
         }
         tr.flush(&mut ps);
         assert!(loss_at(&ps) < before * 0.01);
+    }
+
+    #[test]
+    fn submit_window_matches_per_sample_submit_bitwise() {
+        let targets: Vec<Matrix> = (0..10)
+            .map(|i| Matrix::from_vec(1, 2, vec![i as f32 * 0.1, 1.0 - i as f32 * 0.05]))
+            .collect();
+        let run = |threads: usize, windowed: bool| -> (Vec<u32>, Vec<f32>) {
+            let mut ps = ParamSet::new();
+            let w = ps.register("w", Matrix::from_vec(1, 2, vec![0.7, -0.4]));
+            let mut tr = AccumTrainer::new(Adam::new(&ps, 0.05), 4).with_clip_norm(5.0);
+            let item_pass = |_: usize, target: &Matrix, ps: &ParamSet| {
+                let mut g = Graph::new(ps);
+                let wv = g.param(w);
+                let l = g.mse_loss(wv, target);
+                let loss = g.scalar(l);
+                (loss, g.backward(l))
+            };
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                if windowed {
+                    for chunk in targets.chunks(4) {
+                        losses.extend(tr.submit_window(&mut ps, threads, chunk, item_pass));
+                    }
+                } else {
+                    for (i, t) in targets.iter().enumerate() {
+                        let (loss, grads) = item_pass(i, t, &ps);
+                        losses.push(loss);
+                        tr.submit(&mut ps, grads);
+                    }
+                }
+                tr.flush(&mut ps);
+            }
+            let bits = ps.value(w).data().iter().map(|v| v.to_bits()).collect();
+            (bits, losses)
+        };
+        let reference = run(1, false);
+        for threads in [1, 2, 4] {
+            assert_eq!(run(threads, true), reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -70,15 +70,18 @@ impl City {
 
         let (min_lat, min_lng) = proj.to_latlng(-half, -half);
         let (max_lat, max_lng) = proj.to_latlng(half, half);
-        let bbox = BoundingBox::new(min_lat.min(max_lat), min_lng.min(max_lng),
-                                    min_lat.max(max_lat), min_lng.max(max_lng));
+        let bbox = BoundingBox::new(
+            min_lat.min(max_lat),
+            min_lng.min(max_lng),
+            min_lat.max(max_lat),
+            min_lng.max(max_lng),
+        );
 
         // Industrial zone centers: a ring between the core and the edge.
         let zone_ring = (core_r * 1.6, half * 0.85);
         let zones: Vec<(f64, f64)> = (0..config.num_industrial_zones)
             .map(|i| {
-                let angle = i as f64 / config.num_industrial_zones as f64
-                    * std::f64::consts::TAU
+                let angle = i as f64 / config.num_industrial_zones as f64 * std::f64::consts::TAU
                     + rng.gen_range(-0.3..0.3);
                 let r = uniform_f64(&mut rng, zone_ring);
                 (r * angle.cos(), r * angle.sin())
@@ -89,13 +92,24 @@ impl City {
         let make_site = |x: f64, y: f64, category: PoiCategory, pois: &mut Vec<Poi>| {
             let (lat, lng) = proj.to_latlng(x, y);
             pois.push(Poi { lat, lng, category });
-            Site { x, y, lat, lng, category }
+            Site {
+                x,
+                y,
+                lat,
+                lng,
+                category,
+            }
         };
 
         // Context POIs sprinkled around a site so 100 m POI counts are
         // informative about the site's character.
-        let sprinkle = |rng: &mut StdRng, x: f64, y: f64, cats: &[PoiCategory],
-                            n: usize, spread_m: f64, pois: &mut Vec<Poi>| {
+        let sprinkle = |rng: &mut StdRng,
+                        x: f64,
+                        y: f64,
+                        cats: &[PoiCategory],
+                        n: usize,
+                        spread_m: f64,
+                        pois: &mut Vec<Poi>| {
             for _ in 0..n {
                 let dx = randn(rng) * spread_m;
                 let dy = randn(rng) * spread_m;
@@ -163,7 +177,10 @@ impl City {
                 sample_outside_core(&mut rng, half, core_r * 1.15)
             } else {
                 let (zx, zy) = zones[i % zones.len()];
-                (zx + randn(&mut rng) * 2_200.0, zy + randn(&mut rng) * 2_200.0)
+                (
+                    zx + randn(&mut rng) * 2_200.0,
+                    zy + randn(&mut rng) * 2_200.0,
+                )
             };
             let (x, y) = push_outside_core(x, y, core_r * 1.15);
             let cat = unloading_cats[rng.gen_range(0..unloading_cats.len())];
@@ -185,7 +202,11 @@ impl City {
                 &mut rng,
                 x,
                 y,
-                &[PoiCategory::ParkingLot, PoiCategory::Supermarket, PoiCategory::Restaurant],
+                &[
+                    PoiCategory::ParkingLot,
+                    PoiCategory::Supermarket,
+                    PoiCategory::Restaurant,
+                ],
                 n_ctx,
                 60.0,
                 &mut pois,
@@ -206,7 +227,10 @@ impl City {
             let industrial = rng.gen_bool(config.industrial_break_fraction);
             let (x, y) = if industrial {
                 let (zx, zy) = zones[i % zones.len()];
-                (zx + randn(&mut rng) * 1_800.0, zy + randn(&mut rng) * 1_800.0)
+                (
+                    zx + randn(&mut rng) * 1_800.0,
+                    zy + randn(&mut rng) * 1_800.0,
+                )
             } else {
                 sample_outside_core(&mut rng, half, core_r * 1.05)
             };
@@ -234,7 +258,11 @@ impl City {
                 &mut rng,
                 x,
                 y,
-                &[PoiCategory::ParkingLot, PoiCategory::RepairShop, PoiCategory::LogisticsCenter],
+                &[
+                    PoiCategory::ParkingLot,
+                    PoiCategory::RepairShop,
+                    PoiCategory::LogisticsCenter,
+                ],
                 n_ctx,
                 60.0,
                 &mut pois,

@@ -172,28 +172,56 @@ impl SynthConfig {
     pub fn validate(&self) {
         assert!(self.num_trucks >= 10, "need ≥10 trucks for a 8:1:1 split");
         assert!(self.days_per_truck >= 1, "days_per_truck must be ≥1");
-        assert!(self.city_half_extent_m > 2.0 * self.urban_core_radius_m,
-            "city must extend beyond the urban core");
-        assert!(self.num_loading_sites >= 2 && self.num_unloading_sites >= 2,
-            "need at least two sites of each kind");
+        assert!(
+            self.city_half_extent_m > 2.0 * self.urban_core_radius_m,
+            "city must extend beyond the urban core"
+        );
+        assert!(
+            self.num_loading_sites >= 2 && self.num_unloading_sites >= 2,
+            "need at least two sites of each kind"
+        );
         let wsum: f64 = self.bucket_weights.iter().sum();
         assert!((wsum - 1.0).abs() < 1e-6, "bucket weights must sum to 1");
-        assert!(self.loading_dwell_s.0 <= self.loading_dwell_s.1, "inverted loading dwell");
-        assert!(self.break_dwell_s.0 >= 930,
-            "breaks must exceed the 15-minute stay threshold (plus slack)");
-        assert!(self.micro_stop_dwell_s.1 < 800,
-            "micro-stops must stay below the 15-minute stay threshold");
-        assert!((0.0..=1.0).contains(&self.fueling_break_prob), "invalid fueling break prob");
-        assert!((0.0..=1.0).contains(&self.industrial_break_fraction),
-            "invalid industrial break fraction");
-        assert!(self.base_speed_mps.0 > 0.0 && self.base_speed_mps.1 >= self.base_speed_mps.0,
-            "invalid speed range");
-        assert!(self.base_speed_mps.1 * 3.6 < 130.0,
-            "cruise speed must stay under the 130 km/h noise-filter threshold");
-        assert!((0.0..=1.0).contains(&self.loaded_speed_factor), "invalid loaded factor");
-        assert!(self.gps_interval_s > 0, "sampling interval must be positive");
-        assert!(self.gps_interval_jitter_s * 2 < self.gps_interval_s,
-            "timestamp jitter would break chronological order");
+        assert!(
+            self.loading_dwell_s.0 <= self.loading_dwell_s.1,
+            "inverted loading dwell"
+        );
+        assert!(
+            self.break_dwell_s.0 >= 930,
+            "breaks must exceed the 15-minute stay threshold (plus slack)"
+        );
+        assert!(
+            self.micro_stop_dwell_s.1 < 800,
+            "micro-stops must stay below the 15-minute stay threshold"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.fueling_break_prob),
+            "invalid fueling break prob"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.industrial_break_fraction),
+            "invalid industrial break fraction"
+        );
+        assert!(
+            self.base_speed_mps.0 > 0.0 && self.base_speed_mps.1 >= self.base_speed_mps.0,
+            "invalid speed range"
+        );
+        assert!(
+            self.base_speed_mps.1 * 3.6 < 130.0,
+            "cruise speed must stay under the 130 km/h noise-filter threshold"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.loaded_speed_factor),
+            "invalid loaded factor"
+        );
+        assert!(
+            self.gps_interval_s > 0,
+            "sampling interval must be positive"
+        );
+        assert!(
+            self.gps_interval_jitter_s * 2 < self.gps_interval_s,
+            "timestamp jitter would break chronological order"
+        );
         assert!(
             self.outlier_shift_m.0 / self.gps_interval_s as f64 * 3.6 > 140.0,
             "outliers must imply speeds above the 130 km/h filter threshold"

@@ -175,9 +175,6 @@ mod tests {
         let a = generate_dataset(&cfg);
         cfg.seed += 1;
         let b = generate_dataset(&cfg);
-        assert_ne!(
-            a.train[0].raw.points()[0],
-            b.train[0].raw.points()[0]
-        );
+        assert_ne!(a.train[0].raw.points()[0], b.train[0].raw.points()[0]);
     }
 }

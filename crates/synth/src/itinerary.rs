@@ -37,7 +37,8 @@ impl TruckProfile {
         } else {
             &city.loading_sites
         };
-        let n_load = rng.gen_range(config.loading_pool_per_truck.0..=config.loading_pool_per_truck.1)
+        let n_load = rng
+            .gen_range(config.loading_pool_per_truck.0..=config.loading_pool_per_truck.1)
             .min(load_src.len());
         let n_unload = rng
             .gen_range(config.unloading_pool_per_truck.0..=config.unloading_pool_per_truck.1)
@@ -59,7 +60,11 @@ impl TruckProfile {
 }
 
 fn sample_distinct<R: Rng>(rng: &mut R, src: &[Site], n: usize) -> Vec<Site> {
-    assert!(n >= 1 && n <= src.len(), "cannot sample {n} from {}", src.len());
+    assert!(
+        n >= 1 && n <= src.len(),
+        "cannot sample {n} from {}",
+        src.len()
+    );
     let mut idx: Vec<usize> = (0..src.len()).collect();
     // Partial Fisher–Yates.
     for i in 0..n {
@@ -290,8 +295,16 @@ mod tests {
         let t = TruckProfile::generate(&city, &cfg, &mut rng, 0);
         for _ in 0..50 {
             let plan = plan_day(&city, &cfg, &t, &mut rng);
-            let loads = plan.stops.iter().filter(|s| s.kind == StayKind::Loading).count();
-            let unloads = plan.stops.iter().filter(|s| s.kind == StayKind::Unloading).count();
+            let loads = plan
+                .stops
+                .iter()
+                .filter(|s| s.kind == StayKind::Loading)
+                .count();
+            let unloads = plan
+                .stops
+                .iter()
+                .filter(|s| s.kind == StayKind::Unloading)
+                .count();
             assert_eq!((loads, unloads), (1, 1));
             assert!(plan.loading_index() < plan.unloading_index());
         }

@@ -28,8 +28,8 @@ pub mod dataset;
 pub mod gps;
 pub mod itinerary;
 pub mod motion;
-pub mod stats;
 pub(crate) mod rand_util;
+pub mod stats;
 
 /// Re-export of the POI model from `lead-core` (the 29-category taxonomy is
 /// part of the paper's method; the synthetic city only populates it).

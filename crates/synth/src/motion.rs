@@ -61,7 +61,12 @@ pub fn simulate<R: Rng>(
     let mut frames: Vec<Keyframe> = Vec::new();
     let mut pos = (plan.end_site.x, plan.end_site.y); // day starts at the depot
     let mut t = plan.depart_s as f64;
-    frames.push(Keyframe { x: pos.0, y: pos.1, t, staying: false });
+    frames.push(Keyframe {
+        x: pos.0,
+        y: pos.1,
+        t,
+        staying: false,
+    });
 
     let mut truth = TruthLabel {
         load_start_s: 0,
@@ -72,12 +77,31 @@ pub fn simulate<R: Rng>(
 
     for (i, stop) in plan.stops.iter().enumerate() {
         let loaded = plan.loaded_on_leg(i);
-        drive(city, config, rng, &mut frames, &mut pos, &mut t, (stop.site.x, stop.site.y), loaded);
+        drive(
+            city,
+            config,
+            rng,
+            &mut frames,
+            &mut pos,
+            &mut t,
+            (stop.site.x, stop.site.y),
+            loaded,
+        );
         // The stay: two keyframes at the site bracket the dwell.
         let start = t;
-        frames.push(Keyframe { x: pos.0, y: pos.1, t, staying: true });
+        frames.push(Keyframe {
+            x: pos.0,
+            y: pos.1,
+            t,
+            staying: true,
+        });
         t += stop.dwell_s as f64;
-        frames.push(Keyframe { x: pos.0, y: pos.1, t, staying: true });
+        frames.push(Keyframe {
+            x: pos.0,
+            y: pos.1,
+            t,
+            staying: true,
+        });
         match stop.kind {
             StayKind::Loading => {
                 truth.load_start_s = start as i64;
@@ -103,7 +127,12 @@ pub fn simulate<R: Rng>(
         (plan.end_site.x, plan.end_site.y),
         false,
     );
-    frames.push(Keyframe { x: pos.0, y: pos.1, t: t + 60.0, staying: false });
+    frames.push(Keyframe {
+        x: pos.0,
+        y: pos.1,
+        t: t + 60.0,
+        staying: false,
+    });
 
     SimResult {
         track: sample_track(config, rng, &frames),
@@ -124,7 +153,11 @@ fn drive<R: Rng>(
     loaded: bool,
 ) {
     let waypoints = route(city, config, rng, *pos, to, loaded);
-    let speed_scale = if loaded { config.loaded_speed_factor } else { 1.0 };
+    let speed_scale = if loaded {
+        config.loaded_speed_factor
+    } else {
+        1.0
+    };
     // One micro-stop per leg at most, placed on a random waypoint boundary.
     let micro_at = if rng.gen_bool(config.micro_stop_prob) && waypoints.len() > 1 {
         Some(rng.gen_range(0..waypoints.len() - 1))
@@ -136,11 +169,21 @@ fn drive<R: Rng>(
         let d = dist(*pos, wp);
         *t += d / speed.max(1.0);
         *pos = wp;
-        frames.push(Keyframe { x: pos.0, y: pos.1, t: *t, staying: false });
+        frames.push(Keyframe {
+            x: pos.0,
+            y: pos.1,
+            t: *t,
+            staying: false,
+        });
         if micro_at == Some(w) {
             let dwell = uniform_i64(rng, config.micro_stop_dwell_s) as f64;
             *t += dwell;
-            frames.push(Keyframe { x: pos.0, y: pos.1, t: *t, staying: false });
+            frames.push(Keyframe {
+                x: pos.0,
+                y: pos.1,
+                t: *t,
+                staying: false,
+            });
         }
     }
 }
@@ -248,10 +291,18 @@ fn sample_track<R: Rng>(config: &SynthConfig, rng: &mut R, frames: &[Keyframe]) 
         };
         let ti = t as i64;
         if ti > last_t_emitted {
-            out.push(TrackPoint { x, y, t: ti, staying });
+            out.push(TrackPoint {
+                x,
+                y,
+                t: ti,
+                staying,
+            });
             last_t_emitted = ti;
         }
-        let jitter = uniform_i64(rng, (-config.gps_interval_jitter_s, config.gps_interval_jitter_s));
+        let jitter = uniform_i64(
+            rng,
+            (-config.gps_interval_jitter_s, config.gps_interval_jitter_s),
+        );
         t += (config.gps_interval_s + jitter).max(1) as f64;
     }
     out
@@ -274,11 +325,7 @@ fn interpolate(frames: &[Keyframe], t: f64) -> (f64, f64, bool) {
     let (a, b) = (frames[lo], frames[hi]);
     let span = (b.t - a.t).max(1e-9);
     let f = ((t - a.t) / span).clamp(0.0, 1.0);
-    (
-        lerp(a.x, b.x, f),
-        lerp(a.y, b.y, f),
-        a.staying && b.staying,
-    )
+    (lerp(a.x, b.x, f), lerp(a.y, b.y, f), a.staying && b.staying)
 }
 
 #[inline]

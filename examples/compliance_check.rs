@@ -83,7 +83,10 @@ fn main() {
             );
             for v in violations.iter().take(3) {
                 match v {
-                    Violation::UrbanCore { t, distance_to_center_m } => println!(
+                    Violation::UrbanCore {
+                        t,
+                        distance_to_center_m,
+                    } => println!(
                         "    {:02}:{:02} loaded inside urban core ({:.0} m from center)",
                         (t / 3600) % 24,
                         (t % 3600) / 60,

@@ -26,8 +26,12 @@ fn main() {
 
     // Pick the first detectable test sample and render it.
     for sample in &dataset.test {
-        let Some((_, truth)) = test_case(sample, &config) else { continue };
-        let Some(result) = lead.detect(&sample.raw, &dataset.city.poi_db) else { continue };
+        let Some((_, truth)) = test_case(sample, &config) else {
+            continue;
+        };
+        let Some(result) = lead.detect(&sample.raw, &dataset.city.poi_db) else {
+            continue;
+        };
         let svg = render_detection(&result.processed, result.detected, 900.0);
         std::fs::write("detection.svg", &svg).expect("write detection.svg");
         println!(

@@ -75,7 +75,11 @@ fn main() {
                 "\nend of day: final detection ⟨sp_{} --→ sp_{}⟩ — {}",
                 result.detected.start_sp,
                 result.detected.end_sp,
-                if hit { "matches ground truth ✓" } else { "misses ground truth ✗" }
+                if hit {
+                    "matches ground truth ✓"
+                } else {
+                    "misses ground truth ✗"
+                }
             );
         }
         None => println!("\nend of day: fewer than two stay points, nothing to detect"),

@@ -76,7 +76,10 @@ fn main() {
         let wb = generate_waybill(sample.truck_id, &result, &dataset.city.poi_db);
         println!("Waybill — truck {}", wb.truck_id);
         println!("  loading   {} at {}", wb.loading_time, wb.loading_address);
-        println!("  unloading {} at {}", wb.unloading_time, wb.unloading_address);
+        println!(
+            "  unloading {} at {}",
+            wb.unloading_time, wb.unloading_address
+        );
         println!("  loaded distance: {:.1} km", wb.distance_km);
         // Compare with what the driver would have filed: the paper's example
         // of low-quality manual waybills (default 8:00/17:00 times).

@@ -84,9 +84,7 @@ fn main() {
             .any(|&(rlat, rlng)| haversine_m(*lat, *lng, rlat, rlng) <= 500.0);
         if !registered {
             unregistered += 1;
-            println!(
-                "  UNREGISTERED facility candidate at ({lat:.4}, {lng:.4}) — {count} visits"
-            );
+            println!("  UNREGISTERED facility candidate at ({lat:.4}, {lng:.4}) — {count} visits");
         }
     }
     println!(

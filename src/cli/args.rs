@@ -26,7 +26,10 @@ impl Args {
                 return Err(format!("--{key} given twice"));
             }
         }
-        Ok(Args { subcommand, options })
+        Ok(Args {
+            subcommand,
+            options,
+        })
     }
 
     /// The subcommand name.

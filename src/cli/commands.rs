@@ -168,7 +168,10 @@ fn detect(args: &Args) -> Result<(), String> {
             }
         }
     }
-    println!("{detected}/{} trajectories detected; written to {out_path}", data.samples.len());
+    println!(
+        "{detected}/{} trajectories detected; written to {out_path}",
+        data.samples.len()
+    );
     Ok(())
 }
 
@@ -195,7 +198,10 @@ fn eval(args: &Args) -> Result<(), String> {
             .unwrap_or(false);
         acc.record(proc.num_stay_points(), hit);
     }
-    println!("accuracy on `{split}` ({} samples, {excluded} excluded):", acc.total());
+    println!(
+        "accuracy on `{split}` ({} samples, {excluded} excluded):",
+        acc.total()
+    );
     for b in Bucket::ALL {
         match acc.acc(b) {
             Some(a) => println!("  {:>6}: {a:5.1}%  ({} samples)", b.label(), acc.count(b)),
@@ -242,10 +248,12 @@ fn render(args: &Args) -> Result<(), String> {
     let model = Lead::load(model_path).map_err(|e| e.to_string())?;
     let poi_db = read_pois(&dir.join("pois.csv"))?;
     let data = read_split(dir, split)?;
-    let sample = data
-        .samples
-        .get(seq)
-        .ok_or_else(|| format!("--seq {seq} out of range (split has {})", data.samples.len()))?;
+    let sample = data.samples.get(seq).ok_or_else(|| {
+        format!(
+            "--seq {seq} out of range (split has {})",
+            data.samples.len()
+        )
+    })?;
     let result = model
         .detect(&sample.raw, &poi_db)
         .ok_or("trajectory has fewer than two stay points")?;
@@ -296,8 +304,16 @@ mod tests {
     #[test]
     fn stats_runs_on_a_synth_directory() {
         let dir = std::env::temp_dir().join(format!("lead-cli-stats-{}", std::process::id()));
-        run(&args(&format!("synth --out {} --trucks 10 --days 1", dir.display()))).unwrap();
-        run(&args(&format!("stats --data {} --split train", dir.display()))).unwrap();
+        run(&args(&format!(
+            "synth --out {} --trucks 10 --days 1",
+            dir.display()
+        )))
+        .unwrap();
+        run(&args(&format!(
+            "stats --data {} --split train",
+            dir.display()
+        )))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -307,4 +323,3 @@ mod tests {
         assert!(usage().contains("lead synth"));
     }
 }
-

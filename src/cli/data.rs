@@ -60,7 +60,11 @@ pub fn read_pois(path: &Path) -> Result<PoiDatabase, String> {
         }
         let parts: Vec<&str> = line.trim().split(',').collect();
         if parts.len() != 3 {
-            return Err(format!("{}: line {}: expected 3 fields", path.display(), idx + 1));
+            return Err(format!(
+                "{}: line {}: expected 3 fields",
+                path.display(),
+                idx + 1
+            ));
         }
         let lat: f64 = parts[0]
             .parse()
@@ -77,8 +81,7 @@ pub fn read_pois(path: &Path) -> Result<PoiDatabase, String> {
 
 /// Writes one split (trajectories + truth) from synthetic samples.
 pub fn write_split(samples: &[Sample], dir: &Path, split: &str) -> std::io::Result<()> {
-    let items: Vec<(u32, &Trajectory)> =
-        samples.iter().map(|s| (s.truck_id, &s.raw)).collect();
+    let items: Vec<(u32, &Trajectory)> = samples.iter().map(|s| (s.truck_id, &s.raw)).collect();
     let mut w = BufWriter::new(File::create(dir.join(format!("{split}.csv")))?);
     write_trajectories(&items, &mut w)?;
 
@@ -105,8 +108,8 @@ pub fn write_split(samples: &[Sample], dir: &Path, split: &str) -> std::io::Resu
 pub fn read_split(dir: &Path, split: &str) -> Result<LoadedSplit, String> {
     let tr_path = dir.join(format!("{split}.csv"));
     let file = File::open(&tr_path).map_err(|e| format!("{}: {e}", tr_path.display()))?;
-    let trajectories =
-        read_trajectories(&mut BufReader::new(file)).map_err(|e| format!("{}: {e}", tr_path.display()))?;
+    let trajectories = read_trajectories(&mut BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", tr_path.display()))?;
 
     let truth_path = dir.join(format!("truth_{split}.csv"));
     let file = File::open(&truth_path).map_err(|e| format!("{}: {e}", truth_path.display()))?;
@@ -121,7 +124,11 @@ pub fn read_split(dir: &Path, split: &str) -> Result<LoadedSplit, String> {
         }
         let parts: Vec<&str> = line.trim().split(',').collect();
         if parts.len() != 6 {
-            return Err(format!("{}: line {}: expected 6 fields", truth_path.display(), idx + 1));
+            return Err(format!(
+                "{}: line {}: expected 6 fields",
+                truth_path.display(),
+                idx + 1
+            ));
         }
         let nums: Result<Vec<i64>, _> = parts.iter().map(|p| p.parse::<i64>()).collect();
         let nums = nums.map_err(|e| format!("line {}: {e}", idx + 1))?;

@@ -15,7 +15,9 @@ fn sp_r_accuracy(synth: &SynthConfig) -> f64 {
     let mut hits = 0;
     let mut total = 0;
     for s in ds.test.iter().chain(&ds.val) {
-        let Some((_, truth)) = test_case(s, &cfg) else { continue };
+        let Some((_, truth)) = test_case(s, &cfg) else {
+            continue;
+        };
         if let Some(d) = spr.detect(&s.raw) {
             hits += (d.candidate() == truth) as usize;
         }

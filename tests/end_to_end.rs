@@ -88,7 +88,11 @@ fn every_variant_trains_and_detects() {
         let sample = &ds.test[0];
         let r = lead.detect(&sample.raw, &ds.city.poi_db);
         if let Some(r) = r {
-            assert!(r.detected.start_sp < r.detected.end_sp, "{}", options.name());
+            assert!(
+                r.detected.start_sp < r.detected.end_sp,
+                "{}",
+                options.name()
+            );
         }
     }
 }
@@ -124,7 +128,13 @@ fn baselines_train_and_detect() {
     let spr = SpR::fit(&train, &cfg);
     assert!(!spr.whitelist().is_empty());
     for kind in [RnnKind::Gru, RnnKind::Lstm] {
-        let (model, curve) = SpRnn::fit(kind, &train, &ds.city.poi_db, &cfg, &SpRnnConfig::fast_test());
+        let (model, curve) = SpRnn::fit(
+            kind,
+            &train,
+            &ds.city.poi_db,
+            &cfg,
+            &SpRnnConfig::fast_test(),
+        );
         assert!(!curve.is_empty());
         for s in ds.test.iter().take(3) {
             if let Some(d) = model.detect(&s.raw, &ds.city.poi_db) {
@@ -142,10 +152,7 @@ fn ground_truth_maps_for_most_synthetic_samples() {
     let ds = micro_dataset();
     let cfg = LeadConfig::paper();
     let all: Vec<_> = ds.train.iter().chain(&ds.val).chain(&ds.test).collect();
-    let mapped = all
-        .iter()
-        .filter(|s| test_case(s, &cfg).is_some())
-        .count();
+    let mapped = all.iter().filter(|s| test_case(s, &cfg).is_some()).count();
     assert!(
         mapped * 10 >= all.len() * 8,
         "only {mapped}/{} samples mapped their ground truth",

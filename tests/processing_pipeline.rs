@@ -26,12 +26,7 @@ fn extracted_stay_points_satisfy_definition_2() {
             assert!(dur >= cfg.t_min_s, "stay duration {dur}");
             // Every member within D_max of the anchor.
             for k in sp.start..=sp.end {
-                let d = haversine_m(
-                    pts[sp.start].lat,
-                    pts[sp.start].lng,
-                    pts[k].lat,
-                    pts[k].lng,
-                );
+                let d = haversine_m(pts[sp.start].lat, pts[sp.start].lng, pts[k].lat, pts[k].lng);
                 assert!(d <= cfg.d_max_m + 1e-6, "member at {d} m from anchor");
             }
             // Maximality: the next point (if any) is beyond D_max.

@@ -1,0 +1,242 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of `criterion` its benches use:
+//! [`black_box`], [`Criterion`] with `bench_function` / `benchmark_group` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of upstream's
+//! statistical engine it runs a warm-up pass, scales the iteration count to
+//! a per-sample time budget, and reports mean / min / max ns per iteration —
+//! enough to compare configurations (e.g. 1-thread vs N-thread) on one
+//! machine. Honours `CRITERION_SAMPLE_MS` to shrink runtimes in CI.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group, e.g. `stacked_bilstm/8`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Target wall-clock budget for the measurement phase of one sample.
+    sample_budget: Duration,
+    samples: usize,
+    results: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, first calibrating how many iterations fit in the
+    /// sample budget, then timing `samples` batches of that size.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: run one iteration, estimate per-iter cost, pick a
+        // batch size that fills the sample budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (self.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warm-up batch (not recorded).
+        for _ in 0..batch.min(16) {
+            black_box(routine());
+        }
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+        self.results = Some(Stats {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters: batch * self.samples as u64,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+fn default_sample_ms() -> u64 {
+    std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_budget: Duration::from_millis(default_sample_ms()),
+        samples: samples.max(2),
+        results: None,
+    };
+    f(&mut b);
+    match b.results {
+        Some(s) => println!(
+            "{:<52} time: [{} {} {}]  ({} iters)",
+            label,
+            fmt_ns(s.min_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.max_ns),
+            s.iters,
+        ),
+        None => println!(
+            "{:<52} (no measurement — Bencher::iter never called)",
+            label
+        ),
+    }
+}
+
+/// Top-level benchmark registry, handed to each `criterion_group!` target.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.samples, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Hook used by `criterion_main!`; mirrors upstream's final report step.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        c.bench_function("probe_direct", |b| b.iter(|| black_box(3u64.pow(7))));
+        let mut g = c.benchmark_group("probe_group");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, probe);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("d500_t900").id, "d500_t900");
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of `proptest` its test suites actually use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `prop::collection::vec`, `any::<T>()`, and the `prop::num::f32` float
+//! classes. Generation is fully deterministic: each test function derives
+//! its seed from its own path, so failures reproduce across runs. Unlike
+//! upstream there is no shrinking — a failing case reports its inputs'
+//! case number and seed instead of a minimised counterexample.
+
+/// The generator handed to strategies. Deterministic per test function.
+pub type TestRng = rand::rngs::StdRng;
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for producing random values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use core::marker::PhantomData;
+    use rand::{Rng, RngCore};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: uniform over its whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `elem` and whose length comes
+    /// from `size` (an exact `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::{Rng, RngCore};
+
+        /// A union of IEEE-754 value classes, combinable with `|`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct FloatClass(u8);
+
+        /// Normal (full-exponent-range, non-zero) finite values of both signs.
+        pub const NORMAL: FloatClass = FloatClass(1);
+        /// Positive and negative zero.
+        pub const ZERO: FloatClass = FloatClass(2);
+        /// Subnormal values of both signs.
+        pub const SUBNORMAL: FloatClass = FloatClass(4);
+        /// Positive and negative infinity.
+        pub const INFINITE: FloatClass = FloatClass(8);
+
+        impl core::ops::BitOr for FloatClass {
+            type Output = FloatClass;
+
+            fn bitor(self, rhs: FloatClass) -> FloatClass {
+                FloatClass(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClass {
+            type Value = f32;
+
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let classes: Vec<u8> = (0..4)
+                    .map(|b| 1u8 << b)
+                    .filter(|b| self.0 & b != 0)
+                    .collect();
+                assert!(!classes.is_empty(), "empty float class union");
+                let pick = classes[rng.gen_range(0..classes.len())];
+                let sign = (rng.next_u32() & 1) << 31;
+                match pick {
+                    1 => {
+                        // Normal: exponent field in 1..=254, random mantissa.
+                        let exp = rng.gen_range(1u32..=254) << 23;
+                        let mant = rng.next_u32() & 0x007F_FFFF;
+                        f32::from_bits(sign | exp | mant)
+                    }
+                    2 => f32::from_bits(sign),
+                    4 => {
+                        // Subnormal: zero exponent, non-zero mantissa.
+                        let mant = (rng.next_u32() & 0x007F_FFFF).max(1);
+                        f32::from_bits(sign | mant)
+                    }
+                    _ => f32::from_bits(sign | 0x7F80_0000),
+                }
+            }
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prop` re-export module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// A failed property assertion, carrying its message.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Number of cases per property; override with `PROPTEST_CASES`.
+    fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drives one property: `cases` deterministic seeds derived from the
+    /// test path, each handed a fresh generator. Panics on the first
+    /// failing case with enough detail to replay it.
+    pub fn run<F>(name: &str, body: F)
+    where
+        F: Fn(&mut super::TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let cases = case_count();
+        for case in 0..cases {
+            let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = super::TestRng::seed_from_u64(seed);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "property {} failed at case {}/{} (seed {:#018x}): {}",
+                    name,
+                    case + 1,
+                    cases,
+                    seed,
+                    e
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over deterministically generated
+/// inputs. Use [`prop_assert!`]/[`prop_assert_eq!`] inside the body.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), rng);
+                    )+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (with
+/// optional formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 0usize..10,
+            pair in (1.0..2.0f64, -3i64..3),
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((1.0..2.0).contains(&pair.0));
+            prop_assert!((-3..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_respects_size_range(v in prop::collection::vec(0u8..255, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0i64..50).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!((0..100).contains(&v));
+        }
+
+        #[test]
+        fn float_classes_generate_members(
+            vals in prop::collection::vec(
+                prop::num::f32::NORMAL | prop::num::f32::ZERO,
+                8,
+            ),
+        ) {
+            for v in vals {
+                prop_assert!(v.is_normal() || v == 0.0, "unexpected class for {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        use crate::strategy::Strategy;
+        use std::cell::RefCell;
+        let a = RefCell::new(Vec::new());
+        let b = RefCell::new(Vec::new());
+        for out in [&a, &b] {
+            crate::test_runner::run("stability_probe", |rng| {
+                out.borrow_mut().push((0u64..u64::MAX).generate(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a.into_inner(), b.into_inner());
+    }
+}
