@@ -59,11 +59,11 @@ impl SpR {
             .stay_points
             .iter()
             .map(|sp| {
-                let (lat, lng) = processed
-                    .cleaned
-                    .slice(sp.start, sp.end)
-                    .centroid()
-                    .expect("stay points are non-empty");
+                // A stay point with no member points has no centroid and can
+                // never match the whitelist.
+                let Some((lat, lng)) = processed.cleaned.slice(sp.start, sp.end).centroid() else {
+                    return false;
+                };
                 if self.use_index {
                     self.whitelist
                         .contains_near_indexed(lat, lng, self.search_radius_m)

@@ -183,7 +183,7 @@ impl GroupDetector {
                 }
             }
             trainer.flush(&mut self.params);
-            let train_mean = (total / items.len() as f64) as f32;
+            let train_mean = lead_nn::num::narrow_f64(total / items.len() as f64);
             train_curve.push(train_mean);
             if let Some(v) = val_items {
                 if !v.is_empty() {
@@ -215,7 +215,7 @@ impl GroupDetector {
             g.scalar(loss)
         });
         let total: f64 = per_item.iter().map(|&l| l as f64).sum();
-        (total / items.len() as f64) as f32
+        lead_nn::num::narrow_f64(total / items.len() as f64)
     }
 }
 

@@ -17,8 +17,9 @@ pub fn smoothed_label(flat_order: &[Candidate], truth: Candidate, epsilon: f32) 
     let pos = flat_order
         .iter()
         .position(|&c| c == truth)
+        // lint: allow(panic): training-contract violation (documented # Panics) — labels are built from the same flattening
         .expect("ground-truth candidate must be in the flattening");
-    let k = (m - 1) as f32;
+    let k = lead_nn::num::exact_usize_f32(m - 1);
     let mut data = vec![epsilon; m];
     data[pos] = 1.0 - k * epsilon;
     assert!(data[pos] > 0.0, "ε too large for {m} candidates");

@@ -125,7 +125,7 @@ impl MlpDetector {
                 trainer.submit(&mut self.params, grads);
             }
             trainer.flush(&mut self.params);
-            let train_mean = (total / items.len() as f64) as f32;
+            let train_mean = lead_nn::num::narrow_f64(total / items.len() as f64);
             train_curve.push(train_mean);
             if let Some(v) = val_items {
                 if !v.is_empty() {
@@ -152,7 +152,7 @@ impl MlpDetector {
             let loss = g.bce_with_logits_loss(row, &Matrix::row_vector(y));
             total += g.scalar(loss) as f64;
         }
-        (total / items.len() as f64) as f32
+        lead_nn::num::narrow_f64(total / items.len() as f64)
     }
 }
 

@@ -46,15 +46,17 @@ pub fn merge_probabilities(n: usize, fwd: &[f32], bwd: &[f32]) -> Vec<f32> {
     );
     let fwd_order = forward_flat_order(n);
     let bwd_order = backward_flat_order(n);
-    // Position of each candidate within the backward flattening.
-    let mut bwd_pos = std::collections::HashMap::with_capacity(m);
+    // Position of each candidate within the backward flattening, as a dense
+    // table keyed by `start_sp * n + end_sp` — candidate pairs are unique and
+    // a deterministic Vec keeps the merge free of hash iteration order.
+    let mut bwd_pos = vec![usize::MAX; n * n];
     for (i, c) in bwd_order.iter().enumerate() {
-        bwd_pos.insert(*c, i);
+        bwd_pos[c.start_sp * n + c.end_sp] = i;
     }
     let mut merged: Vec<f32> = fwd_order
         .iter()
         .enumerate()
-        .map(|(i, c)| fwd[i] + bwd[bwd_pos[c]])
+        .map(|(i, c)| fwd[i] + bwd[bwd_pos[c.start_sp * n + c.end_sp]])
         .collect();
     // Min–max rescale to [0, 1] (argmax-preserving). The range is computed
     // over finite sums only — a single NaN would otherwise poison `min`/`max`
@@ -77,9 +79,10 @@ pub fn merge_probabilities(n: usize, fwd: &[f32], bwd: &[f32]) -> Vec<f32> {
             };
         }
     } else {
-        // All finite sums equal; non-finite stragglers still saturate.
+        // All finite sums equal; non-finite stragglers still saturate
+        // (+inf joins the ceiling, -inf and NaN fall to the floor).
         for v in &mut merged {
-            *v = if v.is_finite() || *v == f32::INFINITY {
+            *v = if v.is_finite() || (v.is_infinite() && v.is_sign_positive()) {
                 1.0
             } else {
                 0.0

@@ -311,7 +311,7 @@ impl Autoencoder {
                 }
             }
             trainer.flush(&mut self.params);
-            let train_mean = (total / samples.len() as f64) as f32;
+            let train_mean = lead_nn::num::narrow_f64(total / samples.len() as f64);
             train_curve.push(train_mean);
             if let Some(v) = val_samples {
                 if !v.is_empty() {
@@ -341,7 +341,7 @@ impl Autoencoder {
             g.scalar(loss)
         });
         let total: f64 = per_sample.iter().map(|&l| l as f64).sum();
-        (total / samples.len() as f64) as f32
+        lead_nn::num::narrow_f64(total / samples.len() as f64)
     }
 
     /// Encodes a single candidate into its `c-vec` value (no gradients kept).

@@ -29,7 +29,7 @@ impl Normalizer {
     /// Panics if `rows` is empty or rows disagree on width.
     pub fn fit(rows: &[Vec<f32>]) -> Self {
         assert!(!rows.is_empty(), "cannot fit a normaliser on no data");
-        let dim = rows[0].len();
+        let dim = rows.first().map_or(0, |r| r.len());
         let n = rows.len() as f64;
         let mut mean = vec![0f64; dim];
         for r in rows {
@@ -55,12 +55,12 @@ impl Normalizer {
                 if s < 1e-9 {
                     1.0
                 } else {
-                    s as f32
+                    lead_nn::num::narrow_f64(s)
                 }
             })
             .collect();
         Self {
-            mean: mean.into_iter().map(|m| m as f32).collect(),
+            mean: mean.into_iter().map(lead_nn::num::narrow_f64).collect(),
             std,
         }
     }
@@ -153,16 +153,16 @@ impl<'a> FeatureExtractor<'a> {
     /// The raw (unnormalised) feature vector of one GPS point.
     pub fn raw_features(&self, p: &GpsPoint) -> Vec<f32> {
         let mut f = Vec::with_capacity(FEATURE_DIM);
-        f.push(p.lat as f32);
-        f.push(p.lng as f32);
+        f.push(lead_nn::num::narrow_f64(p.lat));
+        f.push(lead_nn::num::narrow_f64(p.lng));
         // Seconds within the day: absolute epoch offsets would swamp the
         // z-score statistics without adding information for one-day samples.
-        f.push((p.t.rem_euclid(86_400)) as f32);
+        f.push(lead_nn::num::exact_i64_f32(p.t.rem_euclid(86_400)));
         if self.use_poi {
             let counts = self
                 .poi_db
                 .category_counts_within(p.lat, p.lng, self.poi_radius_m);
-            f.extend(counts.iter().map(|&c| c as f32));
+            f.extend(counts.iter().map(|&c| lead_nn::num::exact_u32_f32(c)));
         } else {
             f.extend(std::iter::repeat_n(0.0, NUM_POI_CATEGORIES));
         }
@@ -177,6 +177,7 @@ impl<'a> FeatureExtractor<'a> {
         let mut f = self.raw_features(p);
         self.normalizer
             .as_ref()
+            // lint: allow(panic): documented # Panics precondition — the pipeline installs the normaliser before any feature call
             .expect("normaliser not fitted")
             .normalize(&mut f);
         f

@@ -26,6 +26,9 @@
 //! detection over live GPS feeds — an extension beyond the paper's batch
 //! pipeline).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod detection;
 pub mod encoding;

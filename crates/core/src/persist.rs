@@ -165,54 +165,57 @@ impl Lead {
             return Err(LoadError::Format("not a lead-model v1 file".into()));
         }
 
-        // options
+        // options — slice-pattern destructuring instead of literal indexing:
+        // a malformed line fails the pattern and becomes a typed error.
         let opt_line = next_line(r)?;
         let toks: Vec<&str> = opt_line.split_whitespace().collect();
-        if toks.len() != 5 || toks[0] != "options" {
+        let ["options", use_poi, use_attention, hierarchical, detector] = toks.as_slice() else {
             return Err(LoadError::Format(format!("bad options line `{opt_line}`")));
-        }
+        };
         let parse_bool = |t: &str| -> Result<bool, LoadError> {
             t.parse()
                 .map_err(|_| LoadError::Format(format!("bad bool `{t}`")))
         };
         let options = LeadOptions {
-            use_poi: parse_bool(toks[1])?,
-            use_attention: parse_bool(toks[2])?,
-            hierarchical: parse_bool(toks[3])?,
-            detector: parse_detector(toks[4])?,
+            use_poi: parse_bool(use_poi)?,
+            use_attention: parse_bool(use_attention)?,
+            hierarchical: parse_bool(hierarchical)?,
+            detector: parse_detector(detector)?,
         };
 
         // config
         let cfg_line = next_line(r)?;
         let toks: Vec<&str> = cfg_line.split_whitespace().collect();
-        if toks.len() != 9 || toks[0] != "config" {
+        let ["config", v_max, d_max, t_min, poi_radius, ae_hidden, det_hidden, det_layers, seed] =
+            toks.as_slice()
+        else {
             return Err(LoadError::Format(format!("bad config line `{cfg_line}`")));
-        }
+        };
         let parse_usize = |t: &str| -> Result<usize, LoadError> {
             t.parse()
                 .map_err(|_| LoadError::Format(format!("bad integer `{t}`")))
         };
         let mut config = LeadConfig::paper();
-        config.v_max_kmh = parse_hex_f64(toks[1])?;
-        config.d_max_m = parse_hex_f64(toks[2])?;
-        config.t_min_s = toks[3]
+        config.v_max_kmh = parse_hex_f64(v_max)?;
+        config.d_max_m = parse_hex_f64(d_max)?;
+        config.t_min_s = t_min
             .parse()
-            .map_err(|_| LoadError::Format(format!("bad t_min `{}`", toks[3])))?;
-        config.poi_radius_m = parse_hex_f64(toks[4])?;
-        config.ae_hidden = parse_usize(toks[5])?;
-        config.detector_hidden = parse_usize(toks[6])?;
-        config.detector_layers = parse_usize(toks[7])?;
-        config.seed = toks[8]
+            .map_err(|_| LoadError::Format(format!("bad t_min `{t_min}`")))?;
+        config.poi_radius_m = parse_hex_f64(poi_radius)?;
+        config.ae_hidden = parse_usize(ae_hidden)?;
+        config.detector_hidden = parse_usize(det_hidden)?;
+        config.detector_layers = parse_usize(det_layers)?;
+        config.seed = seed
             .parse()
-            .map_err(|_| LoadError::Format(format!("bad seed `{}`", toks[8])))?;
+            .map_err(|_| LoadError::Format(format!("bad seed `{seed}`")))?;
 
         // normaliser
         let n_line = next_line(r)?;
         let toks: Vec<&str> = n_line.split_whitespace().collect();
-        if toks.len() != 2 || toks[0] != "normalizer" {
+        let ["normalizer", dim] = toks.as_slice() else {
             return Err(LoadError::Format(format!("bad normalizer line `{n_line}`")));
-        }
-        let dim = parse_usize(toks[1])?;
+        };
+        let dim = parse_usize(dim)?;
         let mean = parse_hex_row(&next_line(r)?)?;
         let std = parse_hex_row(&next_line(r)?)?;
         if mean.len() != dim || std.len() != dim {

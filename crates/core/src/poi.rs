@@ -18,37 +18,65 @@ pub const NUM_POI_CATEGORIES: usize = 29;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum PoiCategory {
+    /// Chemical production plant (a canonical loading site).
     ChemicalFactory = 0,
+    /// Oil / fuel depot.
     OilDepot = 1,
+    /// Harbour or river port with chemical cargo berths.
     Port = 2,
+    /// Bulk fuel storage facility.
     FuelStorage = 3,
+    /// Licensed hazardous-chemicals warehouse.
     ChemicalWarehouse = 4,
     /// Fueling stations are deliberately ambiguous: fuel trucks load/unload
     /// here, and drivers also refuel and rest here — the paper's flagship
     /// "complex staying scenario".
     FuelingStation = 5,
+    /// Hospital (oxygen and medical-gas consumer).
     Hospital = 6,
+    /// General manufacturing plant.
     Factory = 7,
+    /// Construction site.
     ConstructionSite = 8,
+    /// Power plant.
     PowerPlant = 9,
+    /// Industrial park hosting many plants.
     IndustrialPark = 10,
+    /// Water treatment plant (chlorine consumer).
     WaterTreatmentPlant = 11,
+    /// Steel mill.
     SteelMill = 12,
+    /// Pharmaceutical plant.
     PharmaceuticalPlant = 13,
+    /// Paper mill.
     PaperMill = 14,
+    /// Restaurant (driver break site).
     Restaurant = 15,
+    /// Highway rest area.
     RestArea = 16,
+    /// Parking lot.
     ParkingLot = 17,
+    /// Hotel (overnight stop).
     Hotel = 18,
+    /// Truck depot / fleet yard.
     TruckDepot = 19,
+    /// Vehicle repair shop.
     RepairShop = 20,
+    /// Supermarket.
     Supermarket = 21,
+    /// Residential area.
     Residential = 22,
+    /// School.
     School = 23,
+    /// Government office.
     Government = 24,
+    /// Urban park.
     Park = 25,
+    /// Bus station.
     BusStation = 26,
+    /// Generic company premises.
     Company = 27,
+    /// Logistics / distribution centre.
     LogisticsCenter = 28,
 }
 

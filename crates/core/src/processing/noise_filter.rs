@@ -14,16 +14,16 @@ use lead_geo::{GpsPoint, Trajectory};
 pub fn filter_noise(raw: &Trajectory, v_max_kmh: f64) -> Trajectory {
     assert!(v_max_kmh > 0.0, "speed threshold must be positive");
     let v_max_mps = v_max_kmh / 3.6;
-    let pts = raw.points();
-    if pts.len() <= 1 {
+    let Some((first, rest)) = raw.points().split_first() else {
         return raw.clone();
-    }
-    let mut kept: Vec<GpsPoint> = Vec::with_capacity(pts.len());
-    kept.push(pts[0]);
-    for &p in &pts[1..] {
-        let prev = kept.last().expect("kept is non-empty");
+    };
+    let mut kept: Vec<GpsPoint> = Vec::with_capacity(rest.len() + 1);
+    let mut prev = *first;
+    kept.push(prev);
+    for &p in rest {
         if prev.speed_to_mps(&p) <= v_max_mps {
             kept.push(p);
+            prev = p;
         }
     }
     Trajectory::new(kept)

@@ -170,6 +170,38 @@ fn detect_batch_matches_individual_detects() {
     }
 }
 
+/// Cross-run determinism: two *fresh* trainings from the same seed must be
+/// byte-identical, end to end. This is stronger than thread-count parity —
+/// it would catch any nondeterministic iteration order (e.g. a `HashMap`
+/// sneaking into a result-affecting path, lint rule R1) or ambient state
+/// leaking into training, because both runs rebuild every model from
+/// scratch and compare the serialized weights byte for byte.
+#[test]
+fn fresh_runs_from_the_same_seed_are_byte_identical() {
+    let db = poi_db();
+    let (held_out, _) = synthetic_day(4, 9);
+
+    let run = || {
+        let (model, report) = fit_with_threads(2);
+        let mut bytes = Vec::new();
+        model
+            .write_to(&mut bytes)
+            .expect("serializing to memory cannot fail");
+        let detection = detection_fingerprint(&model.detect(&held_out, &db));
+        (bytes, bits(&report.ae_curve), detection)
+    };
+
+    let (bytes_a, curve_a, det_a) = run();
+    let (bytes_b, curve_b, det_b) = run();
+    assert_eq!(curve_a, curve_b, "training curves diverged across runs");
+    assert_eq!(det_a, det_b, "detections diverged across runs");
+    assert!(det_a.is_some(), "held-out day must be detectable");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "serialized models diverged across fresh same-seed runs"
+    );
+}
+
 fn shared_model() -> &'static (Lead, PoiDatabase) {
     static MODEL: OnceLock<(Lead, PoiDatabase)> = OnceLock::new();
     MODEL.get_or_init(|| (fit_with_threads(1).0, poi_db()))

@@ -13,30 +13,24 @@ pub fn accuracy_table(title: &str, outcomes: &[EvalOutcome]) -> String {
         "Acc(%)", "3~5", "6~8", "9~11", "12~14", "3~14"
     ));
     if let Some(first) = outcomes.first() {
-        let shares: Vec<String> = Bucket::ALL
-            .iter()
-            .map(|&b| match first.accuracy.share(b) {
-                Some(p) => format!("({p:.0}%)"),
-                None => "(-)".into(),
-            })
-            .collect();
+        let [s0, s1, s2, s3] = Bucket::ALL.map(|b| match first.accuracy.share(b) {
+            Some(p) => format!("({p:.0}%)"),
+            None => "(-)".into(),
+        });
         s.push_str(&format!(
             "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
-            "#Samples", shares[0], shares[1], shares[2], shares[3], "(100%)"
+            "#Samples", s0, s1, s2, s3, "(100%)"
         ));
     }
     for o in outcomes {
-        let cells: Vec<String> = Bucket::ALL
-            .iter()
-            .map(|&b| fmt_pct(o.accuracy.acc(b)))
-            .collect();
+        let [c0, c1, c2, c3] = Bucket::ALL.map(|b| fmt_pct(o.accuracy.acc(b)));
         s.push_str(&format!(
             "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
             o.name,
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
+            c0,
+            c1,
+            c2,
+            c3,
             fmt_pct(o.accuracy.overall())
         ));
     }
@@ -53,17 +47,14 @@ pub fn timing_table(title: &str, outcomes: &[EvalOutcome]) -> String {
         "Time(ms)", "3~5", "6~8", "9~11", "12~14", "3~14"
     ));
     for o in outcomes {
-        let cells: Vec<String> = Bucket::ALL
-            .iter()
-            .map(|&b| fmt_ms(o.timing.mean_ms(b)))
-            .collect();
+        let [c0, c1, c2, c3] = Bucket::ALL.map(|b| fmt_ms(o.timing.mean_ms(b)));
         s.push_str(&format!(
             "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
             o.name,
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
+            c0,
+            c1,
+            c2,
+            c3,
             fmt_ms(o.timing.overall_mean_ms())
         ));
     }
@@ -80,20 +71,17 @@ pub fn iou_table(title: &str, outcomes: &[EvalOutcome]) -> String {
         "IoU", "3~5", "6~8", "9~11", "12~14", "3~14"
     ));
     for o in outcomes {
-        let cells: Vec<String> = Bucket::ALL
-            .iter()
-            .map(|&b| match o.iou.mean(b) {
-                Some(v) => format!("{v:.3}"),
-                None => "-".into(),
-            })
-            .collect();
+        let [c0, c1, c2, c3] = Bucket::ALL.map(|b| match o.iou.mean(b) {
+            Some(v) => format!("{v:.3}"),
+            None => "-".into(),
+        });
         s.push_str(&format!(
             "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
             o.name,
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3],
+            c0,
+            c1,
+            c2,
+            c3,
             match o.iou.overall() {
                 Some(v) => format!("{v:.3}"),
                 None => "-".into(),

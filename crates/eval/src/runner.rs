@@ -3,14 +3,13 @@
 //! (Equation (14)) and mean inference time per bucket.
 
 use crate::metrics::{interval_iou, BucketAccuracy, BucketIou};
-use crate::timing::BucketTiming;
+use crate::timing::{BucketTiming, Stopwatch};
 use lead_baselines::{RnnKind, SpR, SpRnn, SpRnnConfig};
 use lead_core::config::LeadConfig;
 use lead_core::label::truth_stay_indices;
 use lead_core::pipeline::{Lead, LeadOptions, TrainSample, TrainingReport};
 use lead_core::processing::{Candidate, ProcessedTrajectory};
 use lead_synth::{Dataset, Sample};
-use std::time::Instant;
 
 /// A method under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,7 +111,7 @@ pub fn train_and_evaluate(
     let val = to_train_samples(&dataset.val);
     let poi_db = &dataset.city.poi_db;
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     enum Model {
         SpR(SpR),
         Rnn(SpRnn),
@@ -151,7 +150,7 @@ pub fn train_and_evaluate(
     let per_sample = lead_nn::par::par_map(lead_config.num_threads, &dataset.test, |_, sample| {
         let (proc, truth_cand) = test_case(sample, lead_config)?;
         let n = proc.num_stay_points();
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let detected: Option<Candidate> = match model_ref {
             Model::SpR(m) => m.detect(&sample.raw).map(|d| d.candidate()),
             Model::Rnn(m) => m.detect(&sample.raw, poi_db).map(|d| d.candidate()),

@@ -132,9 +132,11 @@ pub fn render_detection(
     detected: lead_core::processing::Candidate,
     canvas_px: f64,
 ) -> String {
-    let bbox = BoundingBox::from_points(proc.cleaned.points())
-        .expect("non-empty trajectory")
-        .expanded(0.005);
+    let Some(bbox) = BoundingBox::from_points(proc.cleaned.points()) else {
+        // Nothing to draw; emit a well-formed empty document.
+        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>");
+    };
+    let bbox = bbox.expanded(0.005);
     let mut map = SvgMap::new(bbox, canvas_px);
 
     map.polyline(proc.cleaned.points(), "#888888", 1.2, 0.8);

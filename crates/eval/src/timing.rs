@@ -1,7 +1,32 @@
 //! Per-bucket mean inference time (Figure 8).
+//!
+//! This module is the workspace's only sanctioned home for wall-clock reads
+//! in result-affecting crates (lint rule R5): timing is a *reported metric*
+//! here, never an input to detection. Everything else must take a
+//! [`Stopwatch`] or a [`Duration`] instead of touching the clock.
 
 use crate::buckets::Bucket;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+///
+/// The sanctioned way to measure training/inference wall-clock outside this
+/// module: callers start a `Stopwatch` and read [`Self::elapsed`], keeping
+/// the raw `Instant::now` calls confined to this R5-exempt file.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Time elapsed since [`Self::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
 
 /// Inference-time accumulator per stay-point bucket.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,31 @@
+//! Fixture: R4 float-cast / float-eq. Scanned under a pretend
+//! `crates/nn/src/` path so the numeric-kernel scope applies.
+
+fn casts(x: f64, y: f32, n: usize) -> f32 {
+    let a = x as f32; // FIRE: float-cast (line 5)
+    let b = y as i32; // FIRE: float-cast (line 6)
+    let c = n as f64; // widening to f64: not flagged
+    let d = n.checked_ilog2().unwrap_or(0) as f32; // FIRE: float-cast (line 8)
+    a + b as f32 + c as f32 + d // FIRE: float-cast twice (line 9: both casts)
+}
+
+fn exempt_sources(v: &[f32]) -> f32 {
+    let n = v.len() as f32; // len(): exact below 2^24, not flagged
+    let k = v.iter().count() as f32; // count(): not flagged
+    let lit = 3 as f32; // integer literal: not flagged
+    n + k + lit
+}
+
+fn comparisons(a: f32, b: f64) -> bool {
+    let bad = a == 0.0; // FIRE: float-eq (line 20)
+    let bad2 = b != 1.5; // FIRE: float-eq (line 21)
+    let inf = a == f32::INFINITY; // FIRE: float-eq (line 22)
+    let ok = a.abs() < 1e-6;
+    let ints = 3 == 4;
+    bad || bad2 || inf || ok || ints
+}
+
+fn waived(a: f32) -> bool {
+    // lint: allow(float-eq): exact-zero sparsity skip; tolerance would change results
+    a == 0.0
+}

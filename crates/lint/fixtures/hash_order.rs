@@ -1,0 +1,19 @@
+//! Fixture: R1 hash-order. Scanned under a pretend `crates/core/src/` path.
+
+use std::collections::HashMap; // FIRE: hash-order (line 3)
+use std::collections::BTreeMap; // clean: ordered map
+
+// lint: allow(hash-order): keys are sorted before iteration, order never observed
+fn waived() -> HashMap<u32, u32> {
+    // The waiver on the comment line above covers only its own next line;
+    // this second use fires again.
+    HashMap::new() // FIRE: hash-order (line 10)
+}
+
+fn same_line_waiver() {
+    let _ = HashMap::<u8, u8>::new(); // lint: allow(hash-order): populated then drained in sorted order
+}
+
+fn clean(m: &BTreeMap<u32, u32>) -> usize {
+    m.len()
+}

@@ -1,0 +1,24 @@
+//! Fixture: R6 missing-doc. Scanned under a pretend `crates/nn/src/` path.
+
+pub fn undocumented() {} // FIRE: missing-doc (line 3)
+
+/// Documented: fine.
+pub fn documented() {}
+
+pub struct Bare; // FIRE: missing-doc (line 8)
+
+/// Documented struct with an attribute between doc and item: fine.
+#[derive(Debug, Clone)]
+pub struct Attributed {
+    /// Field docs are rustc's job (`deny(missing_docs)`), not this rule's.
+    pub field: u32,
+}
+
+pub const LIMIT: usize = 8; // FIRE: missing-doc (line 17)
+
+// lint: allow(missing-doc): internal re-export surface documented at the definition site
+pub fn waived_item() {}
+
+fn private_needs_no_docs() {}
+
+pub use std::cmp::Ordering; // re-exports delegated to rustc's deny(missing_docs)

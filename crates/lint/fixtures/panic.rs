@@ -1,0 +1,37 @@
+//! Fixture: R2 panic-freedom. Scanned under a pretend `crates/core/src/` path.
+
+fn fires(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap(); // FIRE: panic (line 4)
+    let b = v.first().expect("non-empty"); // FIRE: panic (line 5)
+    let c = v[0]; // FIRE: panic (line 6)
+    if a > 3 {
+        panic!("boom"); // FIRE: panic (line 8)
+    }
+    a + b + c
+}
+
+fn asserts_are_fine(v: &[u32]) -> u32 {
+    assert!(!v.is_empty(), "deliberate contract check");
+    debug_assert!(v.len() < 100);
+    let i = v.len() - 1;
+    v[i] // computed index: not flagged
+}
+
+fn waived(o: Option<u32>) -> u32 {
+    // lint: allow(panic): construction invariant — caller always passes Some
+    o.expect("always Some")
+}
+
+fn strings_and_arrays() -> &'static str {
+    let _zeros = [0u8; 4]; // array repeat, not indexing
+    "call .unwrap() and v[0] in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: R3 thread-spawn. Scanned under a pretend `crates/core/src/` path
+//! (any path except `crates/nn/src/par.rs` is outside the sanctioned pool).
+
+fn fires() {
+    let h = std::thread::spawn(|| 1 + 1); // FIRE: thread-spawn (line 5)
+    let _ = h.join();
+}
+
+fn scoped_fires() {
+    std::thread::scope(|_s| {}); // FIRE: thread-spawn (line 10)
+}
+
+fn waived() {
+    // lint: allow(thread-spawn): watchdog thread, never touches results
+    std::thread::spawn(|| ());
+}
+
+fn mentions_in_docs_are_fine() {
+    // `thread::spawn` in a plain comment without code is fine.
+}

@@ -1,0 +1,19 @@
+//! Fixture: R5 wall-clock. Scanned under a pretend `crates/eval/src/` path
+//! (not `timing.rs`, the one sanctioned home for clock reads).
+
+use std::time::Instant; // FIRE: wall-clock (line 4)
+
+fn fires() -> u64 {
+    let t = std::time::SystemTime::now(); // FIRE: wall-clock (line 7)
+    let _ = t;
+    0
+}
+
+fn waived() {
+    // lint: allow(wall-clock): progress logging only, never enters results
+    let _t = Instant::now();
+}
+
+fn duration_is_fine(d: std::time::Duration) -> f64 {
+    d.as_secs_f64()
+}

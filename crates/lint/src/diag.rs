@@ -1,0 +1,29 @@
+//! Diagnostic representation and rendering.
+
+use std::fmt;
+
+/// One rule violation (or waiver-hygiene problem) at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule id (`hash-order`, `panic`, …, or `bad-waiver`/`unused-waiver`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}

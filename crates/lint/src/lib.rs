@@ -1,0 +1,79 @@
+//! `lead-lint` — the workspace's static-analysis gate.
+//!
+//! LEAD's detection output must be reproducible to be trustworthy for a
+//! safety-critical workload (hazardous-chemicals transport). PR 1 established
+//! a hard contract — bit-identical `c-vec`s and detection distributions at
+//! any thread count, and no panics on degenerate GPS days — and this crate
+//! enforces it mechanically instead of by convention.
+//!
+//! The tool is a plain lexical/line-level scanner (no `syn`, no
+//! dependencies, so it runs in the offline build environment). It strips
+//! string literals and comments, tracks `#[cfg(test)]` regions by brace
+//! depth, and applies the rule catalog of [`rules`] to every workspace
+//! source file. Diagnostics are printed as `file:line: [rule] message` with
+//! the offending snippet; any diagnostic makes the binary exit non-zero,
+//! which is how `scripts/ci.sh` gates merges.
+//!
+//! # Rule catalog
+//!
+//! | id            | contract                                                        |
+//! |---------------|-----------------------------------------------------------------|
+//! | `hash-order`  | R1: no `HashMap`/`HashSet` in result-affecting crates           |
+//! | `panic`       | R2: no `unwrap`/`expect`/`panic!`/literal indexing in libraries |
+//! | `thread-spawn`| R3: all parallelism goes through `lead_nn::par`                 |
+//! | `float-cast`  | R4a: no unguarded numeric narrowing in the numeric kernels      |
+//! | `float-eq`    | R4b: no float `==`/`!=` against literals/consts in kernels      |
+//! | `wall-clock`  | R5: timing only in `lead_eval::timing` and benches              |
+//! | `missing-doc` | R6: every `pub` item in `lead_core`/`lead_nn` is documented     |
+//!
+//! # Waivers
+//!
+//! A violation can be waived where the flagged construct is deliberate, but
+//! the waiver must carry a written justification. The syntax is a line
+//! comment on the offending line (or on a comment-only line directly above
+//! it):
+//!
+//! ```text
+//! let h = hs.last().expect("non-empty"); // lint: allow(panic): asserted non-empty above
+//! ```
+//!
+//! A waiver with no reason, an unknown rule name, or one that waives nothing
+//! is itself a diagnostic (`bad-waiver` / `unused-waiver`), so the gate also
+//! keeps waiver hygiene honest.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use diag::Diagnostic;
+
+/// Scans one source file (given as its workspace-relative path with forward
+/// slashes, plus its contents) and returns every diagnostic.
+///
+/// This is the single entry point shared by the binary and the test suite:
+/// fixtures are scanned by handing their contents in under a pretend
+/// workspace path so rule scoping can be exercised.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let lines = scan::preprocess(source);
+    rules::apply(rel_path, &lines)
+}
+
+/// Scans the whole workspace rooted at `root` and returns all diagnostics,
+/// sorted by file and line. `Err` reports an I/O problem (unreadable file or
+/// directory), which the binary also treats as a gate failure.
+pub fn scan_workspace(root: &std::path::Path) -> Result<Vec<Diagnostic>, String> {
+    let files = walk::workspace_sources(root)?;
+    let mut diags = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let source = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        diags.extend(scan_source(rel, &source));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}

@@ -1,0 +1,84 @@
+//! The `lead-lint` binary: scans the workspace and exits non-zero on any
+//! diagnostic. See the library docs for the rule catalog and waiver syntax.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lead-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for id in lead_lint::rules::RULE_IDS {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lead-lint [--root DIR] [--list-rules]\n\n\
+                     Scans the LEAD workspace sources and fails on violations of the\n\
+                     determinism & panic-freedom rule catalog (R1-R6, see DESIGN.md).\n\
+                     Waive a deliberate violation with a justified line comment:\n\
+                     '// lint: allow(<rule>): <reason>'."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lead-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("lead-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match lead_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "lead-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match lead_lint::scan_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("lead-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("lead-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lead-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

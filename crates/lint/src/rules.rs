@@ -1,0 +1,517 @@
+//! The rule catalog (R1–R6) and its application to preprocessed lines.
+//!
+//! Rule scoping is by workspace-relative path. The catalog (mirrored in
+//! DESIGN.md) distinguishes three file classes:
+//!
+//! - **library crates** (`lead_core`, `lead_nn`, `lead_geo`, `lead_eval`,
+//!   `lead_baselines`, `lead_synth`) — must be panic-free (R2) on degenerate
+//!   input;
+//! - **result-affecting crates** (`lead_core`, `lead_nn`, `lead_eval`) —
+//!   everything feeding the `c-vec`s, probability distributions, and
+//!   evaluation reports; must be order-deterministic (R1) and wall-clock
+//!   free (R5);
+//! - **numeric kernels** (`lead_nn`, `lead_core::detection`,
+//!   `lead_core::encoding`, `lead_core::features`) — must not narrow floats
+//!   or compare them exactly without a guard (R4).
+//!
+//! R3 (thread spawning) and waiver hygiene apply to every scanned file; R6
+//! (doc comments) applies to `lead_core` and `lead_nn`. Test code
+//! (`#[cfg(test)]` regions; `tests/` and `benches/` trees are never scanned)
+//! is exempt from everything except waiver hygiene.
+
+use crate::diag::Diagnostic;
+use crate::scan::Line;
+
+/// The machine-readable rule identifiers, as used in waivers.
+pub const RULE_IDS: [&str; 7] = [
+    "hash-order",
+    "panic",
+    "thread-spawn",
+    "float-cast",
+    "float-eq",
+    "wall-clock",
+    "missing-doc",
+];
+
+const LIB_CRATES: [&str; 6] = [
+    "crates/core/",
+    "crates/nn/",
+    "crates/geo/",
+    "crates/eval/",
+    "crates/baselines/",
+    "crates/synth/",
+];
+
+const RESULT_CRATES: [&str; 3] = ["crates/core/", "crates/nn/", "crates/eval/"];
+
+const KERNEL_PATHS: [&str; 3] = [
+    "crates/nn/src/",
+    "crates/core/src/detection/",
+    "crates/core/src/encoding/",
+];
+
+const DOC_CRATES: [&str; 2] = ["crates/core/", "crates/nn/"];
+
+/// Files where wall-clock reads are the point (R5 exemption).
+const TIMING_FILES: [&str; 1] = ["crates/eval/src/timing.rs"];
+
+/// The one module allowed to create threads (R3 exemption).
+const PAR_FILES: [&str; 1] = ["crates/nn/src/par.rs"];
+
+fn in_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+fn is_lib(rel: &str) -> bool {
+    in_any(rel, &LIB_CRATES)
+}
+
+fn is_result_affecting(rel: &str) -> bool {
+    in_any(rel, &RESULT_CRATES)
+}
+
+fn is_kernel(rel: &str) -> bool {
+    in_any(rel, &KERNEL_PATHS) || rel == "crates/core/src/features.rs"
+}
+
+fn is_doc_scope(rel: &str) -> bool {
+    in_any(rel, &DOC_CRATES)
+}
+
+/// Applies the full catalog to one file's preprocessed lines.
+pub fn apply(rel_path: &str, lines: &[Line]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Which (line index, rule) pairs got waived, to detect unused waivers.
+    let mut used_waivers: Vec<(usize, String)> = Vec::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut fire = |rule: &'static str, message: String| {
+            if let Some(w) = waiver_for(lines, i, rule) {
+                used_waivers.push(w);
+                return;
+            }
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: line.number,
+                rule,
+                message,
+                snippet: line.raw.clone(),
+            });
+        };
+        let code = line.code.as_str();
+
+        if is_result_affecting(rel_path) {
+            check_hash_order(code, &mut fire);
+            if !TIMING_FILES.contains(&rel_path) {
+                check_wall_clock(code, &mut fire);
+            }
+        }
+        if is_lib(rel_path) {
+            check_panic(code, &mut fire);
+        }
+        if !PAR_FILES.contains(&rel_path) {
+            check_thread_spawn(code, &mut fire);
+        }
+        if is_kernel(rel_path) {
+            check_float_cast(code, &mut fire);
+            check_float_eq(code, &mut fire);
+        }
+        if is_doc_scope(rel_path) {
+            check_missing_doc(lines, i, &mut fire);
+        }
+    }
+
+    check_waiver_hygiene(rel_path, lines, &used_waivers, &mut diags);
+    diags
+}
+
+/// Returns the satisfied waiver covering `rule` at line index `i`: either on
+/// the line itself or on a comment-only line directly above.
+fn waiver_for(lines: &[Line], i: usize, rule: &str) -> Option<(usize, String)> {
+    let covers = |idx: usize| {
+        lines[idx]
+            .waivers
+            .iter()
+            .any(|w| w.rules.iter().any(|r| r == rule) && !w.reason.is_empty())
+    };
+    if covers(i) {
+        return Some((i, rule.to_string()));
+    }
+    if i > 0 && lines[i - 1].is_comment_only() && covers(i - 1) {
+        return Some((i - 1, rule.to_string()));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R1 — hash-order
+// ---------------------------------------------------------------------------
+
+fn check_hash_order(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    for name in ["HashMap", "HashSet"] {
+        if find_word(code, name).is_some() {
+            fire(
+                "hash-order",
+                format!(
+                    "`{name}` in a result-affecting crate: iteration order is \
+                     nondeterministic and breaks the parity contract — use \
+                     `BTreeMap`/`BTreeSet` or an explicit sort"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2 — panic
+// ---------------------------------------------------------------------------
+
+fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    for pat in [".unwrap()", ".expect("] {
+        if code.contains(pat) {
+            fire(
+                "panic",
+                format!(
+                    "`{pat}` in library code: degenerate GPS days must degrade to \
+                     `Result`/`Option`, not panic"
+                ),
+            );
+        }
+    }
+    for mac in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
+        if find_word(code, mac.trim_end_matches('!')).is_some() && code.contains(mac) {
+            fire(
+                "panic",
+                format!("`{mac}` in library code: return a typed error instead"),
+            );
+        }
+    }
+    if let Some(idx) = find_literal_index(code) {
+        fire(
+            "panic",
+            format!(
+                "indexing by literal `{}` in library code: panics when the \
+                 collection is shorter — use `.get(…)`, `.first()`, or destructuring",
+                &code[idx.0..idx.1]
+            ),
+        );
+    }
+}
+
+/// Finds `expr[<int literal>]` indexing: a `[` preceded by an identifier
+/// char, `)`, or `]`, whose content is all digits/underscores.
+fn find_literal_index(code: &str) -> Option<(usize, usize)> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if !(prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']') {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > i + 1 && bytes.get(j) == Some(&b']') {
+            return Some((i, j + 1));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R3 — thread-spawn
+// ---------------------------------------------------------------------------
+
+fn check_thread_spawn(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+        if code.contains(pat) {
+            fire(
+                "thread-spawn",
+                format!(
+                    "`{pat}` outside `lead_nn::par`: all parallelism must go \
+                     through the fixed-order reduction layer"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4a — float-cast
+// ---------------------------------------------------------------------------
+
+const INT_TYPES: [&str; 12] = [
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    let mut from = 0usize;
+    while let Some(pos) = find_word_from(code, "as", from) {
+        from = pos + 2;
+        // Token after `as `.
+        let after = code[pos + 2..].trim_start();
+        let target = after
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("");
+        // Token before ` as` (trailing non-space run).
+        let before = code[..pos].trim_end();
+        if INT_TYPES.contains(&target) {
+            fire(
+                "float-cast",
+                format!(
+                    "`as {target}` in a numeric kernel: `as` truncates floats \
+                     silently (NaN → 0) — use a guarded conversion helper \
+                     (`lead_nn::num`) or checked conversion"
+                ),
+            );
+        } else if target == "f32" && !int_source_exempt(before) {
+            fire(
+                "float-cast",
+                format!(
+                    "`… as f32` in a numeric kernel narrows silently — funnel \
+                     through `lead_nn::num` (finite/exactness-guarded) or cast \
+                     from `len()`/an integer literal"
+                ),
+            );
+        }
+    }
+}
+
+/// Sources that are obviously integral (and small), for which `as f32` is
+/// deterministic and exact: `len()`, `count()`, or a bare integer literal.
+fn int_source_exempt(before: &str) -> bool {
+    if before.ends_with("len()") || before.ends_with("count()") {
+        return true;
+    }
+    let tail: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    !tail.is_empty() && tail.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// R4b — float-eq
+// ---------------------------------------------------------------------------
+
+fn check_float_eq(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    let bytes = code.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let two = &bytes[i..i + 2];
+        let is_eq = two == b"==" && (i == 0 || !matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>'));
+        let is_ne = two == b"!=" && bytes.get(i + 2) != Some(&b'=');
+        if !(is_eq || is_ne) || bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let rhs = code[i + 2..].trim_start();
+        let lhs = code[..i].trim_end();
+        if token_is_floaty(first_operand(rhs)) || token_is_floaty(&last_operand(lhs)) {
+            fire(
+                "float-eq",
+                "exact float comparison in a numeric kernel: `==`/`!=` on floats \
+                 is brittle — compare with a tolerance, use `is_finite()`/\
+                 `is_sign_positive()`, or compare bit patterns explicitly"
+                    .to_string(),
+            );
+            return; // one diagnostic per line is enough
+        }
+    }
+}
+
+fn first_operand(s: &str) -> &str {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+fn last_operand(s: &str) -> String {
+    s.chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.' || *c == ':')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+/// Whether a comparison operand is a float literal (`0.0`, `1e-6`, `2f32`)
+/// or a float special constant (`f32::NAN`, `f64::INFINITY`, …).
+fn token_is_floaty(tok: &str) -> bool {
+    if tok.is_empty() {
+        return false;
+    }
+    for special in ["INFINITY", "NEG_INFINITY", "NAN", "EPSILON"] {
+        if (tok.starts_with("f32::")
+            || tok.starts_with("f64::")
+            || tok.contains("::f32::")
+            || tok.contains("::f64::"))
+            && tok.ends_with(special)
+        {
+            return true;
+        }
+    }
+    let numeric = tok.strip_suffix("f32").or_else(|| tok.strip_suffix("f64"));
+    let (body, had_suffix) = match numeric {
+        Some(b) => (b, true),
+        None => (tok, false),
+    };
+    if body.is_empty() || !body.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let looks_numeric = body
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == '_' || c == 'e' || c == 'E' || c == '-');
+    looks_numeric && (body.contains('.') || body.contains('e') || body.contains('E') || had_suffix)
+}
+
+// ---------------------------------------------------------------------------
+// R5 — wall-clock
+// ---------------------------------------------------------------------------
+
+fn check_wall_clock(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+    for pat in ["Instant", "SystemTime"] {
+        if find_word(code, pat).is_some() {
+            fire(
+                "wall-clock",
+                format!(
+                    "`{pat}` in result-affecting code: wall-clock reads make runs \
+                     irreproducible — timing belongs in `lead_eval::timing` \
+                     (e.g. `Stopwatch`) or the bench crate"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R6 — missing-doc
+// ---------------------------------------------------------------------------
+
+const DOC_ITEMS: [&str; 8] = [
+    "pub fn ",
+    "pub struct ",
+    "pub enum ",
+    "pub trait ",
+    "pub type ",
+    "pub const ",
+    "pub static ",
+    "pub unsafe ",
+];
+
+fn check_missing_doc(lines: &[Line], i: usize, fire: &mut impl FnMut(&'static str, String)) {
+    let trimmed = lines[i].code.trim_start();
+    if !DOC_ITEMS.iter().any(|p| trimmed.starts_with(p)) {
+        return;
+    }
+    // Walk upward over attributes; the first non-attribute line decides.
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let above = &lines[j];
+        let t = above.raw.as_str();
+        if t.starts_with("#[") || t.starts_with("#![") || t == ")]" {
+            continue;
+        }
+        if above.is_doc {
+            return; // documented
+        }
+        break;
+    }
+    let item = trimmed.split('(').next().unwrap_or(trimmed).trim();
+    fire(
+        "missing-doc",
+        format!("public item `{item}` has no doc comment (R6: every `pub` item in core/nn is documented)"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Waiver hygiene
+// ---------------------------------------------------------------------------
+
+fn check_waiver_hygiene(
+    rel_path: &str,
+    lines: &[Line],
+    used: &[(usize, String)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (i, line) in lines.iter().enumerate() {
+        for w in &line.waivers {
+            for rule in &w.rules {
+                if !RULE_IDS.contains(&rule.as_str()) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line: line.number,
+                        rule: "bad-waiver",
+                        message: format!(
+                            "waiver names unknown rule `{rule}` (known: {})",
+                            RULE_IDS.join(", ")
+                        ),
+                        snippet: line.raw.clone(),
+                    });
+                    continue;
+                }
+                if w.reason.is_empty() {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line: line.number,
+                        rule: "bad-waiver",
+                        message: format!(
+                            "waiver for `{rule}` carries no justification — every \
+                             waiver must state why the contract holds"
+                        ),
+                        snippet: line.raw.clone(),
+                    });
+                    continue;
+                }
+                if !used.iter().any(|(ui, ur)| *ui == i && ur == rule) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line: line.number,
+                        rule: "unused-waiver",
+                        message: format!("waiver for `{rule}` matches no violation — remove it"),
+                        snippet: line.raw.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds `word` with identifier boundaries on both sides.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    find_word_from(code, word, 0)
+}
+
+fn find_word_from(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(rel) = code.get(start..).and_then(|s| s.find(word)) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}

@@ -1,0 +1,377 @@
+//! Lexical preprocessing: per-line code/comment separation, string
+//! stripping, `#[cfg(test)]` region tracking, and waiver extraction.
+//!
+//! The scanner is deliberately not a Rust parser. It understands just enough
+//! of the token grammar — string/char literals (including raw strings),
+//! nested block comments, line comments, brace depth — to hand [`crate::rules`]
+//! a faithful *code-only* view of each line, so that a pattern inside a
+//! string literal or a doc-comment example can never trigger a rule.
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The code content with string/char-literal bodies and comments removed
+    /// (quotes are kept, so `"foo"` becomes `""`).
+    pub code: String,
+    /// The concatenated comment text of the line (without `//` markers).
+    pub comment: String,
+    /// The original line, trimmed, for diagnostics.
+    pub raw: String,
+    /// Whether the line lies in (or opens/closes) a `#[cfg(test)]`/`#[test]`
+    /// region.
+    pub in_test: bool,
+    /// Whether the line is a doc comment (`///`, `//!`, or `/** … */`).
+    pub is_doc: bool,
+    /// Waivers declared on this line, as parsed from its comments.
+    pub waivers: Vec<Waiver>,
+}
+
+impl Line {
+    /// True when the line carries no code at all (blank or comment-only), in
+    /// which case a waiver on it applies to the next code line.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// One `lint: allow(rule, …): reason` annotation.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule ids being waived, exactly as written.
+    pub rules: Vec<String>,
+    /// The justification text after the rule list (may be empty — the rule
+    /// layer then reports a `bad-waiver`).
+    pub reason: String,
+}
+
+/// The lexer state that survives across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a (possibly nested) `/* … */` comment; the payload is the
+    /// nesting depth.
+    BlockComment(u32),
+    /// Inside a normal `"…"` string.
+    Str,
+    /// Inside a raw string `r##"…"##`; the payload is the `#` count.
+    RawStr(u32),
+}
+
+/// Splits `source` into preprocessed [`Line`]s.
+pub fn preprocess(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: i64 = 0;
+    // While `Some(d)`, lines are inside a test region that ends when the
+    // brace depth returns to `d`.
+    let mut test_until_depth: Option<i64> = None;
+    // A `#[cfg(test)]` / `#[test]` attribute has been seen and its item's
+    // opening brace is still ahead.
+    let mut pending_test = false;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let (code, comment, next_mode) = strip_line(raw_line, mode);
+        let started_in_code = mode == Mode::Code;
+        mode = next_mode;
+
+        let trimmed_code = code.trim_start();
+        if trimmed_code.starts_with("#[cfg(test)") || trimmed_code.starts_with("#[test]") {
+            // Attributes inside an already-open test region must not leak a
+            // pending marker past the region's closing brace.
+            pending_test = test_until_depth.is_none();
+        }
+
+        let in_test_before = test_until_depth.is_some();
+        let mut opened_here = false;
+        if test_until_depth.is_none() && pending_test && code.contains('{') {
+            test_until_depth = Some(depth);
+            pending_test = false;
+            opened_here = true;
+        } else if pending_test && !code.contains('{') && code.contains(';') {
+            // `#[cfg(test)] use …;` — a braceless item consumes the attribute.
+            pending_test = false;
+        }
+
+        for b in code.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(d) = test_until_depth {
+            if depth <= d {
+                test_until_depth = None;
+            }
+        }
+
+        let raw_trim = raw_line.trim();
+        let is_doc = started_in_code
+            && (raw_trim.starts_with("///")
+                || raw_trim.starts_with("//!")
+                || raw_trim.starts_with("/**")
+                || raw_trim.starts_with("/*!"));
+
+        // Waivers live in regular comments only: doc comments describe the
+        // waiver syntax (e.g. in this crate) without declaring one.
+        let waivers = if is_doc {
+            Vec::new()
+        } else {
+            parse_waivers(&comment)
+        };
+        out.push(Line {
+            number: idx + 1,
+            waivers,
+            code,
+            comment,
+            raw: raw_trim.to_string(),
+            in_test: in_test_before || opened_here,
+            is_doc,
+        });
+    }
+    out
+}
+
+/// Strips one raw line given the entry `mode`, returning the code portion,
+/// the comment text, and the mode the next line starts in.
+fn strip_line(line: &str, mut mode: Mode) -> (String, String, Mode) {
+    let bytes = line.as_bytes();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match mode {
+            Mode::BlockComment(d) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    mode = if d <= 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(d - 1)
+                    };
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    i += 2;
+                    mode = Mode::BlockComment(d + 1);
+                } else {
+                    comment.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL harmlessly)
+                } else if bytes[i] == b'"' {
+                    code.push('"');
+                    i += 1;
+                    mode = Mode::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if bytes[i] == b'"' && has_hashes(bytes, i + 1, hashes) {
+                    i += 1 + hashes as usize;
+                    code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                let b = bytes[i];
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    comment.push_str(&line[i + 2..]);
+                    i = bytes.len();
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    i += 2;
+                    mode = Mode::BlockComment(1);
+                } else if b == b'"' {
+                    code.push('"');
+                    i += 1;
+                    mode = Mode::Str;
+                } else if b == b'r' && !prev_is_ident(&code) && raw_str_hashes(bytes, i).is_some() {
+                    let hashes = raw_str_hashes(bytes, i).unwrap_or(0);
+                    code.push('"');
+                    i += 2 + hashes as usize; // consume `r`, hashes, opening quote
+                    mode = Mode::RawStr(hashes);
+                } else if b == b'\'' {
+                    // Char literal vs. lifetime: a char literal closes with a
+                    // quote within a few bytes; a lifetime does not.
+                    if let Some(len) = char_literal_len(bytes, i) {
+                        code.push('\'');
+                        code.push('\'');
+                        i += len;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A string literal never spans lines in this codebase except raw strings
+    // and escaped newlines; treat an unterminated plain string as continuing.
+    (code, comment, mode)
+}
+
+fn has_hashes(bytes: &[u8], from: usize, n: u32) -> bool {
+    let n = n as usize;
+    bytes.len() >= from + n && bytes[from..from + n].iter().all(|&b| b == b'#')
+}
+
+/// If `bytes[i..]` starts a raw string (`r"`, `r#"`, `br"`…), returns the
+/// number of `#`s.
+fn raw_str_hashes(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.bytes()
+        .last()
+        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Length in bytes of a char literal starting at `i` (which holds `'`), or
+/// `None` when this is a lifetime.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: find the closing quote within a short window
+            // (covers \n, \', \\, \u{…}, \x7f).
+            let mut j = i + 2;
+            let end = usize::min(bytes.len(), i + 12);
+            while j < end {
+                if bytes[j] == b'\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if bytes.get(i + 2) == Some(&b'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Parses every `lint: allow(rule, …)[:—-] reason` annotation out of a
+/// line's comment text.
+fn parse_waivers(comment: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = &rest[pos + 5..];
+        let after = rest.trim_start();
+        let Some(args) = after.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = args[close + 1..]
+            .trim_start_matches([':', '-', '—', '–', ' ', '\t'])
+            .trim()
+            .to_string();
+        rest = &args[close + 1..];
+        out.push(Waiver { rules, reason });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lines = preprocess("let x = \"unwrap() HashMap\"; // trailing unwrap()\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("trailing unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let lines = preprocess("let x = r#\"panic! \"inner\" HashSet\"#; let y = 1;\n");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = preprocess("fn f<'a>(x: &'a str) -> char { '{' }\n");
+        // The `{` inside the char literal must not unbalance brace tracking.
+        let opens = lines[0].code.matches('{').count();
+        let closes = lines[0].code.matches('}').count();
+        assert_eq!(opens, closes, "{:?}", lines[0].code);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "let a = 1; /* start\nstill /* nested */ comment\nend */ let b = 2;\n";
+        let lines = preprocess(src);
+        assert!(lines[0].code.contains("let a = 1;"));
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[2].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_nested_braces() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { inner(); }
+    #[test]
+    fn t() {}
+}
+fn also_real() {}
+";
+        let lines = preprocess(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test, "mod line opens the region");
+        assert!(lines[3].in_test);
+        assert!(lines[5].in_test, "closing brace still in region");
+        assert!(!lines[7].in_test);
+    }
+
+    #[test]
+    fn waiver_parsing_extracts_rules_and_reason() {
+        let lines = preprocess("x(); // lint: allow(panic, hash-order): invariant holds\n");
+        let w = &lines[0].waivers;
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rules, vec!["panic", "hash-order"]);
+        assert_eq!(w[0].reason, "invariant holds");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_kept_with_empty_reason() {
+        let lines = preprocess("x(); // lint: allow(panic)\n");
+        assert_eq!(lines[0].waivers.len(), 1);
+        assert!(lines[0].waivers[0].reason.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_code() {
+        let lines = preprocess("/// model.save(\"x\").unwrap();\npub fn save() {}\n");
+        assert!(lines[0].is_doc);
+        assert!(lines[0].code.trim().is_empty());
+        assert!(!lines[1].is_doc);
+    }
+}

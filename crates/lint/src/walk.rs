@@ -1,0 +1,72 @@
+//! Deterministic workspace source discovery.
+//!
+//! The gate scans the root crate's `src/` tree and every `crates/*/src`
+//! tree. `vendor/` (offline dependency shims), `target/`, and the
+//! `tests/`/`benches/`/`fixtures/` trees are never scanned: integration
+//! tests and benchmarks are free to `unwrap()` and read the clock.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Returns every scannable `.rs` file as a workspace-relative path with
+/// forward slashes, sorted (so diagnostics are stable across platforms and
+/// runs).
+pub fn workspace_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in read_dir_sorted(&crates)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect(&src, &mut files)?;
+            }
+        }
+    }
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|f| {
+            f.strip_prefix(root)
+                .ok()
+                .map(|p| p.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Walks upward from `start` to the workspace root: the first directory
+/// containing both `Cargo.toml` and a `crates/` subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

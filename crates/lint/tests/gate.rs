@@ -1,0 +1,116 @@
+//! End-to-end gate tests: the `lead-lint` binary against synthetic
+//! workspaces (exit codes, diagnostics format) and a self-check that the
+//! real shipped workspace is clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn write(path: &Path, content: &str) {
+    fs::create_dir_all(path.parent().expect("file path has a parent")).expect("mkdir");
+    fs::write(path, content).expect("write fixture file");
+}
+
+/// Builds a minimal fake workspace under `CARGO_TARGET_TMPDIR` and returns
+/// its root. `core_lib` becomes `crates/core/src/lib.rs`.
+fn fake_workspace(name: &str, core_lib: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear stale fake workspace");
+    }
+    write(
+        &root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    );
+    write(&root.join("crates/core/src/lib.rs"), core_lib);
+    root
+}
+
+fn run_gate(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lead-lint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run lead-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().unwrap_or(-1), stdout)
+}
+
+#[test]
+fn seeded_violation_fails_the_gate_with_file_line_diagnostics() {
+    let root = fake_workspace(
+        "gate-dirty",
+        "//! Seeded violation.\n\nfn f(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+    );
+    let (code, stdout) = run_gate(&root);
+    assert_eq!(code, 1, "a violation must fail CI; output:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:4: [panic]"),
+        "diagnostic must carry file:line and the rule id:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("o.unwrap()"),
+        "diagnostic must quote the offending line:\n{stdout}"
+    );
+    assert!(stdout.contains("1 diagnostic(s)"), "{stdout}");
+}
+
+#[test]
+fn clean_workspace_passes_the_gate() {
+    let root = fake_workspace(
+        "gate-clean",
+        "//! Clean crate.\n\n/// Adds one.\npub fn add_one(x: u32) -> u32 {\n    x + 1\n}\n",
+    );
+    let (code, stdout) = run_gate(&root);
+    assert_eq!(code, 0, "clean workspace must pass; output:\n{stdout}");
+    assert!(stdout.contains("lead-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn waived_violation_passes_but_reasonless_waiver_fails() {
+    let waived = "//! Waived violation.\n\nfn f(o: Option<u32>) -> u32 {\n    \
+                  // lint: allow(panic): fixture invariant, documented here\n    \
+                  o.unwrap()\n}\n";
+    let (code, _) = run_gate(&fake_workspace("gate-waived", waived));
+    assert_eq!(code, 0, "a justified waiver silences the rule");
+
+    let reasonless = "//! Reasonless waiver.\n\nfn f(o: Option<u32>) -> u32 {\n    \
+                      // lint: allow(panic)\n    o.unwrap()\n}\n";
+    let (code, stdout) = run_gate(&fake_workspace("gate-reasonless", reasonless));
+    assert_eq!(
+        code, 1,
+        "a waiver without a reason must not count:\n{stdout}"
+    );
+    assert!(stdout.contains("bad-waiver"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lead-lint"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("run lead-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The tentpole acceptance check: the shipped workspace itself passes the
+/// gate with zero unwaived diagnostics.
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint is two levels below the workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "workspace root found");
+    let diags = lead_lint::scan_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "the shipped workspace must pass its own gate:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

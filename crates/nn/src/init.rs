@@ -1,6 +1,7 @@
 //! Weight initialisation schemes.
 
 use crate::matrix::Matrix;
+use crate::num::narrow_f64;
 use rand::Rng;
 
 /// Xavier/Glorot uniform initialisation: entries drawn from
@@ -10,16 +11,16 @@ use rand::Rng;
 /// layers, for which Glorot initialisation is the standard choice.
 pub fn xavier_uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
     let limit = (6.0 / (rows + cols) as f64).sqrt();
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit) as f32)
+    Matrix::from_fn(rows, cols, |_, _| narrow_f64(rng.gen_range(-limit..limit)))
 }
 
 /// Uniform initialisation in `[-limit, limit]`.
 pub fn uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize, limit: f64) -> Matrix {
     assert!(limit >= 0.0, "limit must be non-negative");
-    if limit == 0.0 {
+    if limit <= 0.0 {
         return Matrix::zeros(rows, cols);
     }
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit) as f32)
+    Matrix::from_fn(rows, cols, |_, _| narrow_f64(rng.gen_range(-limit..limit)))
 }
 
 #[cfg(test)]

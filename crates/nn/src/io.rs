@@ -84,7 +84,9 @@ pub fn read_params<R: BufRead>(params: &mut ParamSet, r: &mut R) -> Result<(), R
         return Err(ReadError::Format(format!("unexpected header `{header}`")));
     }
 
-    let mut by_name: std::collections::HashMap<String, ParamId> = params
+    // BTreeMap so lookup/removal order is deterministic (lint R1: no hash
+    // iteration order in result-affecting crates).
+    let mut by_name: std::collections::BTreeMap<String, ParamId> = params
         .iter()
         .map(|(id, _)| (params.name(id).to_string(), id))
         .collect();

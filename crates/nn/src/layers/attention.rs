@@ -68,6 +68,7 @@ impl SelfAttention {
     pub fn aggregate(&self, g: &mut Graph, hs: &[Var]) -> Var {
         assert!(!hs.is_empty(), "attention over an empty sequence");
         let h_mat = g.concat_rows(hs); // T × hidden
+                                       // lint: allow(panic): hs non-empty is asserted at entry (documented # Panics)
         let last = *hs.last().expect("non-empty");
         let wq = g.param(self.wq);
         let bq = g.param(self.bq);
@@ -79,7 +80,10 @@ impl SelfAttention {
         let k = g.add_row_broadcast(k0, bk); // T × key_dim
         let kt = g.transpose(k); // key_dim × T
         let scores0 = g.matmul(q, kt); // 1 × T
-        let scores = g.scale(scores0, 1.0 / (self.key_dim as f32).sqrt());
+        let scores = g.scale(
+            scores0,
+            1.0 / crate::num::exact_usize_f32(self.key_dim).sqrt(),
+        );
         let s = g.softmax_rows(scores); // 1 × T
         g.matmul(s, h_mat) // 1 × hidden
     }
@@ -88,6 +92,7 @@ impl SelfAttention {
     pub fn weights(&self, g: &mut Graph, hs: &[Var]) -> Var {
         assert!(!hs.is_empty(), "attention over an empty sequence");
         let h_mat = g.concat_rows(hs);
+        // lint: allow(panic): hs non-empty is asserted at entry (documented # Panics)
         let last = *hs.last().expect("non-empty");
         let wq = g.param(self.wq);
         let bq = g.param(self.bq);
@@ -99,7 +104,10 @@ impl SelfAttention {
         let k = g.add_row_broadcast(k0, bk);
         let kt = g.transpose(k);
         let scores0 = g.matmul(q, kt);
-        let scores = g.scale(scores0, 1.0 / (self.key_dim as f32).sqrt());
+        let scores = g.scale(
+            scores0,
+            1.0 / crate::num::exact_usize_f32(self.key_dim).sqrt(),
+        );
         g.softmax_rows(scores)
     }
 }

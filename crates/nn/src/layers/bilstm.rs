@@ -107,7 +107,7 @@ impl StackedBiLstm {
 
     /// Output width.
     pub fn hidden(&self) -> usize {
-        self.layers[0].hidden()
+        self.layers.first().map_or(0, |l| l.hidden())
     }
 
     /// Runs the whole stack; output length equals input length.

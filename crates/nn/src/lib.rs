@@ -41,10 +41,14 @@
 //! assert!((fit.at(0, 0) - 3.0).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod init;
 pub mod io;
 pub mod layers;
 pub mod matrix;
+pub mod num;
 pub mod optim;
 pub mod par;
 pub mod params;

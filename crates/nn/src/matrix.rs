@@ -164,6 +164,7 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
+                // lint: allow(float-eq): exact-zero sparsity skip; a tolerance would change results
                 if a == 0.0 {
                     continue;
                 }
@@ -185,6 +186,7 @@ impl Matrix {
             let a_row = self.row(r);
             let b_row = rhs.row(r);
             for (k, &a) in a_row.iter().enumerate() {
+                // lint: allow(float-eq): exact-zero sparsity skip; a tolerance would change results
                 if a == 0.0 {
                     continue;
                 }
@@ -344,7 +346,7 @@ impl Matrix {
     /// Concatenates matrices left-to-right; all must share the row count.
     pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_cols of nothing");
-        let rows = parts[0].rows;
+        let rows = parts.first().map_or(0, |m| m.rows);
         assert!(
             parts.iter().all(|m| m.rows == rows),
             "concat_cols row mismatch"
@@ -364,7 +366,7 @@ impl Matrix {
     /// Concatenates matrices top-to-bottom; all must share the column count.
     pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "concat_rows of nothing");
-        let cols = parts[0].cols;
+        let cols = parts.first().map_or(0, |m| m.cols);
         assert!(
             parts.iter().all(|m| m.cols == cols),
             "concat_rows col mismatch"
@@ -416,6 +418,10 @@ impl Matrix {
             for v in row.iter_mut() {
                 *v /= z;
             }
+            debug_assert!(
+                row.iter().all(|v| v.is_finite()),
+                "softmax produced a non-finite entry (all-(-inf) or NaN input row?)"
+            );
         }
         out
     }

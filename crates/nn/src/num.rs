@@ -1,0 +1,97 @@
+//! Guarded numeric conversions.
+//!
+//! The lint gate's `float-cast` rule (R4, see `DESIGN.md`) bans raw `as`
+//! casts in numeric kernels because `as` narrows and truncates silently:
+//! `f64 -> f32` rounds out-of-range values to infinity, `f32 -> i32` maps
+//! NaN to zero, and `usize -> f32` loses integer exactness above 2^24.
+//! Result-affecting code funnels such conversions through this module so
+//! each one states its contract and checks it in debug builds. The raw
+//! casts live here, each under a single justified waiver.
+
+/// Narrows an `f64` to `f32`, asserting finiteness in debug builds.
+///
+/// Use for statistics (means, variances, norms) accumulated in `f64` whose
+/// magnitude is known to fit `f32` comfortably. Overflow to infinity in a
+/// release build would silently poison downstream kernels; the debug assert
+/// catches the regression where it happens.
+#[inline]
+pub fn narrow_f64(x: f64) -> f32 {
+    debug_assert!(x.is_finite(), "narrow_f64: non-finite input {x}");
+    let y = x as f32; // lint: allow(float-cast): the one audited f64->f32 narrowing site; finiteness asserted above
+    debug_assert!(y.is_finite(), "narrow_f64: {x} overflowed f32 to {y}");
+    y
+}
+
+/// Converts a `usize` count to `f32`, asserting exactness in debug builds.
+///
+/// `f32` represents integers exactly only up to 2^24 (~16.7M). Counts in
+/// this codebase (points per day, stay points, training steps) are far
+/// below that; the assert documents and enforces the assumption.
+#[inline]
+pub fn exact_usize_f32(n: usize) -> f32 {
+    debug_assert!(
+        n <= (1usize << 24),
+        "exact_usize_f32: {n} exceeds f32's exact-integer range"
+    );
+    n as f32 // lint: allow(float-cast): exactness range asserted above
+}
+
+/// Converts a `u32` count to `f32`, asserting exactness in debug builds.
+///
+/// Same contract as [`exact_usize_f32`] for `u32` sources (e.g. POI
+/// category counts).
+#[inline]
+pub fn exact_u32_f32(n: u32) -> f32 {
+    debug_assert!(
+        n <= (1u32 << 24),
+        "exact_u32_f32: {n} exceeds f32's exact-integer range"
+    );
+    n as f32 // lint: allow(float-cast): exactness range asserted above
+}
+
+/// Converts an `i64` to `f32`, asserting exactness in debug builds.
+///
+/// Same contract as [`exact_usize_f32`] for signed values (e.g. seconds of
+/// day, grid offsets): `|n|` must stay within `f32`'s exact-integer range.
+#[inline]
+pub fn exact_i64_f32(n: i64) -> f32 {
+    debug_assert!(
+        n.unsigned_abs() <= (1u64 << 24),
+        "exact_i64_f32: {n} exceeds f32's exact-integer range"
+    );
+    n as f32 // lint: allow(float-cast): exactness range asserted above
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_preserves_ordinary_values() {
+        assert_eq!(narrow_f64(1.5), 1.5f32);
+        assert_eq!(narrow_f64(-0.25), -0.25f32);
+        assert_eq!(narrow_f64(0.0), 0.0f32);
+    }
+
+    #[test]
+    fn exact_counts_round_trip() {
+        assert_eq!(exact_usize_f32(0), 0.0);
+        assert_eq!(exact_usize_f32(16_777_216), 16_777_216.0);
+        assert_eq!(exact_i64_f32(-86_400), -86_400.0);
+        assert_eq!(exact_i64_f32(12_345), 12_345.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    #[cfg(debug_assertions)]
+    fn narrow_rejects_nan_in_debug() {
+        let _ = narrow_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact-integer range")]
+    #[cfg(debug_assertions)]
+    fn exact_rejects_large_counts_in_debug() {
+        let _ = exact_usize_f32(1 << 25);
+    }
+}

@@ -77,8 +77,11 @@ impl Adam {
         );
         assert_eq!(grads.len(), params.len(), "gradient arity mismatch");
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // powi saturates the exponent: beyond i32::MAX steps the bias
+        // correction is 1.0 - beta^huge = 1.0 anyway.
+        let t = i32::try_from(self.t).unwrap_or(i32::MAX);
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
         for idx in 0..params.len() {
             let id = crate::params::ParamId(idx);
             let g = grads.get(id);

@@ -555,12 +555,8 @@ impl<'p> Graph<'p> {
     }
 
     fn grad_slot<'g>(&self, grads: &'g mut [Option<Matrix>], v: Var) -> &'g mut Matrix {
-        let slot = &mut grads[v.0];
-        if slot.is_none() {
-            let (r, c) = self.nodes[v.0].value.shape();
-            *slot = Some(Matrix::zeros(r, c));
-        }
-        slot.as_mut().unwrap()
+        let (r, c) = self.nodes[v.0].value.shape();
+        grads[v.0].get_or_insert_with(|| Matrix::zeros(r, c))
     }
 }
 

@@ -102,8 +102,12 @@ impl AccumTrainer {
     }
 
     fn apply(&mut self, params: &mut ParamSet) {
-        let mut acc = self.acc.take().expect("pending>0 implies accumulator");
-        acc.scale(1.0 / self.pending as f32);
+        // No accumulator means no pending examples: nothing to apply.
+        let Some(mut acc) = self.acc.take() else {
+            self.pending = 0;
+            return;
+        };
+        acc.scale(1.0 / crate::num::exact_usize_f32(self.pending));
         if let Some(max) = self.clip_norm {
             acc.clip_global_norm(max);
         }

@@ -119,6 +119,7 @@ impl DayPlan {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Loading)
+            // lint: allow(panic): construction invariant — every generated plan contains exactly one loading stop
             .expect("plan has a loading stop")
     }
 
@@ -127,6 +128,7 @@ impl DayPlan {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Unloading)
+            // lint: allow(panic): construction invariant — every generated plan contains exactly one unloading stop
             .expect("plan has an unloading stop")
     }
 
@@ -246,6 +248,7 @@ fn pick_break_site<R: Rng>(
     } else {
         &city.break_sites
     };
+    assert!(!pool.is_empty(), "city has no break/fueling sites");
     let mut best: Option<(Site, f64)> = None;
     for _ in 0..6 {
         let s = pool[rng.gen_range(0..pool.len())];
@@ -255,6 +258,7 @@ fn pick_break_site<R: Rng>(
             _ => best = Some((s, detour)),
         }
     }
+    // lint: allow(panic): best is set on the first of the six draws; pool non-emptiness asserted above
     best.expect("pool is non-empty").0
 }
 

@@ -22,6 +22,9 @@
 //! noise and outlier spikes), [`dataset`] (labelled samples and disjoint-truck
 //! splits), [`config`] (all knobs, seeded and deterministic).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod city;
 pub mod config;
 pub mod dataset;

@@ -210,7 +210,7 @@ fn route<R: Rng>(
     // Insert curvature between consecutive waypoints: 1–2 jittered midpoints.
     let mut out: Vec<(f64, f64)> = Vec::new();
     for seg in pts.windows(2) {
-        let (a, b) = (seg[0], seg[1]);
+        let &[a, b] = seg else { continue };
         let len = dist(a, b);
         if len > 3_000.0 {
             let n = if len > 12_000.0 { 2 } else { 1 };
@@ -272,8 +272,8 @@ fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
 /// stay-wander jitter.
 fn sample_track<R: Rng>(config: &SynthConfig, rng: &mut R, frames: &[Keyframe]) -> Vec<TrackPoint> {
     assert!(frames.len() >= 2, "timeline needs at least two keyframes");
-    let t0 = frames[0].t;
-    let t1 = frames[frames.len() - 1].t;
+    let t0 = frames.first().map_or(0.0, |f| f.t);
+    let t1 = frames.last().map_or(0.0, |f| f.t);
     let mut out = Vec::new();
     let mut t = t0;
     let mut last_t_emitted = i64::MIN;
@@ -310,7 +310,9 @@ fn sample_track<R: Rng>(config: &SynthConfig, rng: &mut R, frames: &[Keyframe]) 
 
 /// Linear interpolation over the keyframes at time `t`.
 fn interpolate(frames: &[Keyframe], t: f64) -> (f64, f64, bool) {
-    debug_assert!(t >= frames[0].t && t <= frames[frames.len() - 1].t);
+    debug_assert!(
+        matches!((frames.first(), frames.last()), (Some(a), Some(b)) if a.t <= t && t <= b.t)
+    );
     // Binary search for the bracketing pair.
     let mut lo = 0;
     let mut hi = frames.len() - 1;

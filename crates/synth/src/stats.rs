@@ -66,6 +66,7 @@ impl SplitStats {
 
 impl fmt::Display for SplitStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [b0, b1, b2, b3] = self.bucket_counts;
         let pct = |c: usize| {
             if self.samples == 0 {
                 0.0
@@ -81,10 +82,10 @@ impl fmt::Display for SplitStats {
             self.trucks,
             self.mean_points,
             self.mean_stays,
-            pct(self.bucket_counts[0]),
-            pct(self.bucket_counts[1]),
-            pct(self.bucket_counts[2]),
-            pct(self.bucket_counts[3]),
+            pct(b0),
+            pct(b1),
+            pct(b2),
+            pct(b3),
             pct(self.scorable),
         )
     }

@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo run -p lead-lint --release"
+cargo run -q -p lead-lint --release
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
