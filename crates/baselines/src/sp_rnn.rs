@@ -109,7 +109,8 @@ impl SpRnn {
         lead_config: &LeadConfig,
         rnn_config: &SpRnnConfig,
     ) -> (Self, Vec<f32>) {
-        lead_config.validate();
+        let config_check = lead_config.validate();
+        assert!(config_check.is_ok(), "invalid LeadConfig: {config_check:?}");
         let mut rng = StdRng::seed_from_u64(lead_config.seed ^ 0x5F0F);
 
         // Processing + per-stay labels.

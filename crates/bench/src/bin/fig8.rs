@@ -24,7 +24,7 @@ fn main() {
 
     let mut outcomes = Vec::new();
     for method in Method::table3() {
-        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg).expect("eval");
         println!("{:<10} measured", out.name);
         outcomes.push(out);
     }

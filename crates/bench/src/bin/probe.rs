@@ -34,7 +34,8 @@ fn main() {
     let val = to_train_samples(&ds.val);
     let t = Instant::now();
     let (lead, report) =
-        Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full());
+        Lead::fit_with_val(&train, &val, &ds.city.poi_db, &cfg, LeadOptions::full())
+            .expect("training failed");
     println!(
         "fit in {:.1}s; used={} skipped={}",
         t.elapsed().as_secs_f64(),

@@ -36,7 +36,7 @@ fn main() {
     let mut t3 = Vec::new();
     for method in Method::table3() {
         let t = Instant::now();
-        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg).expect("eval");
         println!(
             "[table3/fig8] {:<10} {:.1}s",
             out.name,
@@ -85,7 +85,7 @@ fn main() {
             lead_outcome.clone()
         } else {
             let t = Instant::now();
-            let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+            let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg).expect("eval");
             println!(
                 "[table4] {:<12} {:.1}s",
                 out.name,

@@ -29,7 +29,7 @@ fn main() {
     let mut outcomes = Vec::new();
     for method in Method::table4() {
         let t = Instant::now();
-        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg);
+        let out = train_and_evaluate(method, &ds, &lead_cfg, &rnn_cfg).expect("eval");
         println!(
             "{:<12} trained+evaluated in {:.1}s",
             out.name,

@@ -107,7 +107,7 @@ mod tests {
     fn scales_produce_valid_configs() {
         for s in [Scale::Tiny, Scale::Quick, Scale::Full] {
             s.synth_config().validate();
-            s.lead_config().validate();
+            assert!(s.lead_config().validate().is_ok());
             assert!(!s.name().is_empty());
         }
     }

@@ -146,44 +146,116 @@ impl LeadConfig {
         2 * self.ae_hidden
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency; returns the first violated constraint.
     ///
-    /// # Panics
-    /// Panics on the first violated constraint.
-    pub fn validate(&self) {
-        assert!(self.v_max_kmh > 0.0, "speed threshold must be positive");
-        assert!(self.d_max_m > 0.0, "D_max must be positive");
-        assert!(self.t_min_s > 0, "T_min must be positive");
-        assert!(self.poi_radius_m > 0.0, "POI radius must be positive");
-        assert!(
-            self.ae_hidden > 0 && self.detector_hidden > 0,
-            "hidden sizes must be positive"
-        );
-        assert!(self.detector_layers > 0, "need at least one BiLSTM layer");
-        assert!(
+    /// Strict `>` comparisons double as NaN guards: a NaN threshold fails
+    /// every ordering test and is rejected like any other bad value.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let check = |ok: bool, field: &'static str, reason: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError { field, reason })
+            }
+        };
+        check(
+            self.v_max_kmh > 0.0,
+            "v_max_kmh",
+            "speed threshold must be positive",
+        )?;
+        check(self.d_max_m > 0.0, "d_max_m", "D_max must be positive")?;
+        check(self.t_min_s > 0, "t_min_s", "T_min must be positive")?;
+        check(
+            self.poi_radius_m > 0.0,
+            "poi_radius_m",
+            "POI radius must be positive",
+        )?;
+        check(
+            self.ae_hidden > 0,
+            "ae_hidden",
+            "hidden sizes must be positive",
+        )?;
+        check(
+            self.detector_hidden > 0,
+            "detector_hidden",
+            "hidden sizes must be positive",
+        )?;
+        check(
+            self.detector_layers > 0,
+            "detector_layers",
+            "need at least one BiLSTM layer",
+        )?;
+        check(
             self.label_epsilon > 0.0 && self.label_epsilon < 0.01,
-            "ε must be a small positive constant"
-        );
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(
+            "label_epsilon",
+            "ε must be a small positive constant",
+        )?;
+        check(
+            self.learning_rate > 0.0,
+            "learning_rate",
+            "learning rate must be positive",
+        )?;
+        check(
             self.batch_accumulation > 0,
-            "batch accumulation must be positive"
-        );
-        assert!(
-            self.ae_max_epochs > 0 && self.detector_max_epochs > 0,
-            "need at least one epoch"
-        );
-        assert!(
+            "batch_accumulation",
+            "batch accumulation must be positive",
+        )?;
+        check(
+            self.ae_max_epochs > 0,
+            "ae_max_epochs",
+            "need at least one epoch",
+        )?;
+        check(
+            self.detector_max_epochs > 0,
+            "detector_max_epochs",
+            "need at least one epoch",
+        )?;
+        check(
+            self.ae_samples_per_trajectory > 0,
+            "ae_samples_per_trajectory",
+            "the autoencoder needs at least one candidate sample per trajectory",
+        )?;
+        check(
+            self.early_stopping_patience > 0,
+            "early_stopping_patience",
+            "early-stopping patience must be positive",
+        )?;
+        check(
+            self.grad_clip_norm > 0.0,
+            "grad_clip_norm",
+            "gradient clip norm must be positive (use f32::INFINITY to disable)",
+        )?;
+        check(
             self.detector_weight_decay >= 0.0,
-            "weight decay must be non-negative"
-        );
-        assert!(
+            "detector_weight_decay",
+            "weight decay must be non-negative",
+        )?;
+        check(
             self.cvec_noise_std >= 0.0,
-            "augmentation noise must be non-negative"
-        );
+            "cvec_noise_std",
+            "augmentation noise must be non-negative",
+        )?;
         // num_threads needs no check: 0 = all cores, anything else is literal.
+        Ok(())
     }
 }
+
+/// A violated configuration constraint (see [`LeadConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending `LeadConfig` field.
+    pub field: &'static str,
+    /// Why the value is rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "`{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl Default for LeadConfig {
     fn default() -> Self {
@@ -209,19 +281,49 @@ mod tests {
         assert_eq!(c.label_epsilon, 1e-5);
         assert_eq!(c.learning_rate, 1e-4);
         assert_eq!(c.batch_accumulation, 64);
-        c.validate();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
     fn fast_test_config_validates() {
-        LeadConfig::fast_test().validate();
+        assert!(LeadConfig::fast_test().validate().is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "D_max")]
     fn invalid_d_max_rejected() {
         let mut c = LeadConfig::paper();
         c.d_max_m = 0.0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "d_max_m");
+        assert!(err.to_string().contains("D_max"), "{err}");
+    }
+
+    #[test]
+    fn nan_thresholds_are_rejected() {
+        let mut c = LeadConfig::paper();
+        c.v_max_kmh = f64::NAN;
+        assert_eq!(c.validate().unwrap_err().field, "v_max_kmh");
+    }
+
+    #[test]
+    fn degenerate_training_knobs_are_rejected() {
+        for (mutate, field) in [
+            (
+                (|c: &mut LeadConfig| c.ae_samples_per_trajectory = 0) as fn(&mut LeadConfig),
+                "ae_samples_per_trajectory",
+            ),
+            (|c| c.early_stopping_patience = 0, "early_stopping_patience"),
+            (|c| c.grad_clip_norm = 0.0, "grad_clip_norm"),
+            (|c| c.grad_clip_norm = f32::NAN, "grad_clip_norm"),
+            (|c| c.batch_accumulation = 0, "batch_accumulation"),
+        ] {
+            let mut c = LeadConfig::paper();
+            mutate(&mut c);
+            assert_eq!(c.validate().unwrap_err().field, field);
+        }
+        // Clipping disabled via infinity remains valid.
+        let mut c = LeadConfig::paper();
+        c.grad_clip_norm = f32::INFINITY;
+        assert!(c.validate().is_ok());
     }
 }

@@ -117,13 +117,42 @@ impl GroupDetector {
         config: &LeadConfig,
         rng: &mut R,
     ) -> (Vec<f32>, Vec<f32>) {
+        self.train_probed(items, val_items, config, rng, &lead_obs::probe::NOOP, "det")
+    }
+
+    /// [`Self::train_with_validation`] with an observability probe: records a
+    /// `{scope}.epoch` span plus `{scope}.epoch_kld` / `{scope}.epoch_val_kld`
+    /// observations and the trainer's `{scope}.grad_norm` /
+    /// `{scope}.optim_steps` (the pipeline uses scopes `det.fwd` and
+    /// `det.bwd`). Metrics are write-only — the trained weights are identical
+    /// for any probe.
+    pub fn train_probed<R: Rng>(
+        &mut self,
+        items: &[GroupItem],
+        val_items: Option<&[GroupItem]>,
+        config: &LeadConfig,
+        rng: &mut R,
+        probe: &dyn lead_obs::probe::Probe,
+        scope: &str,
+    ) -> (Vec<f32>, Vec<f32>) {
         assert!(!items.is_empty(), "detector training needs samples");
+        // Metric names are dynamic (scope-prefixed); build them once up front
+        // so the per-epoch hot loop never formats when a probe is attached —
+        // and not at all when it is not.
+        let names = probe.enabled().then(|| {
+            (
+                format!("{scope}.epoch"),
+                format!("{scope}.epoch_kld"),
+                format!("{scope}.epoch_val_kld"),
+            )
+        });
         let mut trainer = AccumTrainer::new(
             Adam::new(&self.params, config.learning_rate)
                 .with_weight_decay(config.detector_weight_decay),
             config.batch_accumulation,
         )
-        .with_clip_norm(config.grad_clip_norm);
+        .with_clip_norm(config.grad_clip_norm)
+        .with_probe(probe, scope);
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
         let mut order: Vec<usize> = (0..items.len()).collect();
         let mut train_curve = Vec::new();
@@ -131,6 +160,9 @@ impl GroupDetector {
         let stack = &self.stack;
         let out = &self.out;
         for _epoch in 0..config.detector_max_epochs {
+            let _epoch_span = names
+                .as_ref()
+                .map(|(epoch_name, _, _)| lead_obs::clock::span(probe, epoch_name));
             order.shuffle(rng);
             let mut total = 0.0f64;
             for window in order.chunks(config.batch_accumulation) {
@@ -185,9 +217,16 @@ impl GroupDetector {
             trainer.flush(&mut self.params);
             let train_mean = lead_nn::num::narrow_f64(total / items.len() as f64);
             train_curve.push(train_mean);
+            if let Some((_, kld_name, _)) = names.as_ref() {
+                probe.observe(kld_name, f64::from(train_mean));
+            }
             if let Some(v) = val_items {
                 if !v.is_empty() {
-                    val_curve.push(self.evaluate_par(v, config.num_threads));
+                    let val_mean = self.evaluate_par(v, config.num_threads);
+                    val_curve.push(val_mean);
+                    if let Some((_, _, val_name)) = names.as_ref() {
+                        probe.observe(val_name, f64::from(val_mean));
+                    }
                 }
             }
             if stopper.observe(train_mean) {

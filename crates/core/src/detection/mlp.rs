@@ -99,17 +99,35 @@ impl MlpDetector {
         config: &LeadConfig,
         rng: &mut R,
     ) -> (Vec<f32>, Vec<f32>) {
+        self.train_probed(items, val_items, config, rng, &lead_obs::probe::NOOP)
+    }
+
+    /// [`Self::train_with_validation`] with an observability probe: records a
+    /// `det.mlp.epoch` span plus `det.mlp.epoch_bce` / `det.mlp.epoch_val_bce`
+    /// observations and the trainer's `det.mlp.grad_norm` /
+    /// `det.mlp.optim_steps`. Metrics are write-only — the trained weights
+    /// are identical for any probe.
+    pub fn train_probed<R: Rng>(
+        &mut self,
+        items: &[(Vec<Matrix>, usize)],
+        val_items: Option<&[(Vec<Matrix>, usize)]>,
+        config: &LeadConfig,
+        rng: &mut R,
+        probe: &dyn lead_obs::probe::Probe,
+    ) -> (Vec<f32>, Vec<f32>) {
         assert!(!items.is_empty(), "MLP training needs samples");
         let mut trainer = AccumTrainer::new(
             Adam::new(&self.params, config.learning_rate),
             config.batch_accumulation,
         )
-        .with_clip_norm(config.grad_clip_norm);
+        .with_clip_norm(config.grad_clip_norm)
+        .with_probe(probe, "det.mlp");
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
         let mut order: Vec<usize> = (0..items.len()).collect();
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
         for _epoch in 0..config.detector_max_epochs {
+            let _epoch_span = lead_obs::clock::span(probe, "det.mlp.epoch");
             order.shuffle(rng);
             let mut total = 0.0f64;
             for &i in &order {
@@ -127,9 +145,16 @@ impl MlpDetector {
             trainer.flush(&mut self.params);
             let train_mean = lead_nn::num::narrow_f64(total / items.len() as f64);
             train_curve.push(train_mean);
+            if probe.enabled() {
+                probe.observe("det.mlp.epoch_bce", f64::from(train_mean));
+            }
             if let Some(v) = val_items {
                 if !v.is_empty() {
-                    val_curve.push(self.evaluate(v));
+                    let val_mean = self.evaluate(v);
+                    val_curve.push(val_mean);
+                    if probe.enabled() {
+                        probe.observe("det.mlp.epoch_val_bce", f64::from(val_mean));
+                    }
                 }
             }
             if stopper.observe(train_mean) {

@@ -276,12 +276,29 @@ impl Autoencoder {
         config: &LeadConfig,
         rng: &mut R,
     ) -> (Vec<f32>, Vec<f32>) {
+        self.train_probed(samples, val_samples, config, rng, &lead_obs::probe::NOOP)
+    }
+
+    /// [`Self::train_with_validation`] with an observability probe: records
+    /// an `ae.epoch` span plus `ae.epoch_mse` / `ae.epoch_val_mse`
+    /// observations and the trainer's `ae.grad_norm` / `ae.optim_steps`.
+    /// Metrics are write-only — the trained weights are identical for any
+    /// probe.
+    pub fn train_probed<R: Rng>(
+        &mut self,
+        samples: &[CandidateFeatures],
+        val_samples: Option<&[CandidateFeatures]>,
+        config: &LeadConfig,
+        rng: &mut R,
+        probe: &dyn lead_obs::probe::Probe,
+    ) -> (Vec<f32>, Vec<f32>) {
         assert!(!samples.is_empty(), "autoencoder training needs samples");
         let mut trainer = AccumTrainer::new(
             Adam::new(&self.params, config.learning_rate),
             config.batch_accumulation,
         )
-        .with_clip_norm(config.grad_clip_norm);
+        .with_clip_norm(config.grad_clip_norm)
+        .with_probe(probe, "ae");
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut train_curve = Vec::new();
@@ -289,6 +306,7 @@ impl Autoencoder {
         let arch = &self.arch;
         let hidden = self.hidden;
         for _epoch in 0..config.ae_max_epochs {
+            let _epoch_span = lead_obs::clock::span(probe, "ae.epoch");
             order.shuffle(rng);
             let mut total = 0.0f64;
             // Each accumulation window's forward/backward passes run
@@ -313,9 +331,16 @@ impl Autoencoder {
             trainer.flush(&mut self.params);
             let train_mean = lead_nn::num::narrow_f64(total / samples.len() as f64);
             train_curve.push(train_mean);
+            if probe.enabled() {
+                probe.observe("ae.epoch_mse", f64::from(train_mean));
+            }
             if let Some(v) = val_samples {
                 if !v.is_empty() {
-                    val_curve.push(self.evaluate_par(v, config.num_threads));
+                    let val_mean = self.evaluate_par(v, config.num_threads);
+                    val_curve.push(val_mean);
+                    if probe.enabled() {
+                        probe.observe("ae.epoch_val_mse", f64::from(val_mean));
+                    }
                 }
             }
             if stopper.observe(train_mean) {

@@ -1,0 +1,100 @@
+//! The workspace-level error surface.
+//!
+//! [`LeadError`] unifies configuration, persistence, and I/O failures so
+//! [`crate::pipeline::Lead::fit`], [`crate::pipeline::Lead::save`], and
+//! [`crate::pipeline::Lead::load`] share one fallible API: nothing reachable
+//! through the public `Lead` surface panics on bad input — it all lands
+//! here, with `Display` and `Error::source` wired through to the cause.
+
+use crate::config::ConfigError;
+use crate::persist::LoadError;
+
+/// Any failure surfaced by the public [`crate::pipeline::Lead`] API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LeadError {
+    /// The configuration violates a documented constraint.
+    Config(ConfigError),
+    /// A saved model could not be parsed or rebuilt.
+    Load(LoadError),
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// Every training sample was dropped during processing — fewer than two
+    /// stay points, or the ground truth did not map onto extracted stays.
+    NoTrainableSamples {
+        /// How many samples were skipped.
+        skipped: usize,
+    },
+}
+
+impl std::fmt::Display for LeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeadError::Config(e) => write!(f, "invalid configuration: {e}"),
+            LeadError::Load(e) => write!(f, "model load failed: {e}"),
+            LeadError::Io(e) => write!(f, "i/o error: {e}"),
+            LeadError::NoTrainableSamples { skipped } => write!(
+                f,
+                "no training sample survived processing ({skipped} skipped)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LeadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LeadError::Config(e) => Some(e),
+            LeadError::Load(e) => Some(e),
+            LeadError::Io(e) => Some(e),
+            LeadError::NoTrainableSamples { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for LeadError {
+    fn from(e: ConfigError) -> Self {
+        LeadError::Config(e)
+    }
+}
+
+impl From<LoadError> for LeadError {
+    fn from(e: LoadError) -> Self {
+        LeadError::Load(e)
+    }
+}
+
+impl From<std::io::Error> for LeadError {
+    fn from(e: std::io::Error) -> Self {
+        LeadError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source_are_wired_through() {
+        let cfg = ConfigError {
+            field: "d_max_m",
+            reason: "D_max must be positive",
+        };
+        let err = LeadError::from(cfg);
+        assert!(err.to_string().contains("d_max_m"));
+        assert!(err
+            .source()
+            .expect("has a source")
+            .to_string()
+            .contains("D_max"));
+
+        let io = LeadError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        assert!(io.source().is_some());
+
+        let empty = LeadError::NoTrainableSamples { skipped: 7 };
+        assert!(empty.to_string().contains("7 skipped"));
+        assert!(empty.source().is_none());
+    }
+}

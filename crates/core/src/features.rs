@@ -282,6 +282,29 @@ impl<'a> FeatureExtractor<'a> {
         });
         TrajectoryFeatures { sp_seqs, mp_seqs }
     }
+
+    /// [`Self::trajectory_features_par`] with an observability probe:
+    /// records a `features` span and the number of extracted feature rows.
+    /// Metrics are write-only — the features are identical for any probe.
+    pub fn trajectory_features_probed(
+        &self,
+        proc: &ProcessedTrajectory,
+        num_threads: usize,
+        probe: &dyn lead_obs::probe::Probe,
+    ) -> TrajectoryFeatures {
+        let _span = lead_obs::clock::span(probe, "features");
+        let tf = self.trajectory_features_par(proc, num_threads);
+        if probe.enabled() {
+            let rows: usize = tf
+                .sp_seqs
+                .iter()
+                .chain(tf.mp_seqs.iter())
+                .map(lead_nn::Matrix::rows)
+                .sum();
+            probe.count("features.rows", u64::try_from(rows).unwrap_or(u64::MAX));
+        }
+        tf
+    }
 }
 
 /// The feature sequences of one candidate trajectory, split by hierarchy:

@@ -22,9 +22,13 @@
 //! Supporting modules: [`poi`] (the 29-category POI database backing the
 //! 32-dimensional point features), [`label`] (ground-truth handling),
 //! [`config`] (every hyper-parameter of Section VI-A, at its paper value),
-//! [`persist`] (save/load of trained models), and [`streaming`] (online
-//! detection over live GPS feeds — an extension beyond the paper's batch
-//! pipeline).
+//! [`persist`] (save/load of trained models), [`error`] (the unified
+//! [`LeadError`] surface of the fallible public API), and [`streaming`]
+//! (online detection over live GPS feeds — an extension beyond the paper's
+//! batch pipeline). Hot paths accept a `lead_obs` probe
+//! ([`pipeline::DetectOptions`], [`pipeline::Lead::fit_opts`]) for
+//! per-stage spans and counters; metrics are write-only and never change
+//! results.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,6 +36,7 @@
 pub mod config;
 pub mod detection;
 pub mod encoding;
+pub mod error;
 pub mod features;
 pub mod label;
 pub mod persist;
@@ -40,8 +45,9 @@ pub mod poi;
 pub mod processing;
 pub mod streaming;
 
-pub use config::LeadConfig;
+pub use config::{ConfigError, LeadConfig};
+pub use error::LeadError;
 pub use label::TruthLabel;
-pub use pipeline::{DetectionResult, Lead, LeadOptions, TrainingReport};
+pub use pipeline::{DetectOptions, DetectionResult, Lead, LeadOptions, TrainingReport};
 pub use poi::{Poi, PoiCategory, PoiDatabase, PoiRole, NUM_POI_CATEGORIES};
 pub use processing::{Candidate, ProcessedTrajectory, StayPoint};

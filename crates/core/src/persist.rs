@@ -23,6 +23,8 @@ pub enum LoadError {
     Format(String),
     /// A weight section does not match the rebuilt architecture.
     Params(ReadError),
+    /// The file parsed but describes an invalid configuration.
+    Config(crate::config::ConfigError),
 }
 
 impl std::fmt::Display for LoadError {
@@ -31,6 +33,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
             LoadError::Format(m) => write!(f, "format error: {m}"),
             LoadError::Params(e) => write!(f, "weight section error: {e}"),
+            LoadError::Config(e) => write!(f, "invalid stored configuration: {e}"),
         }
     }
 }
@@ -46,6 +49,12 @@ impl From<std::io::Error> for LoadError {
 impl From<ReadError> for LoadError {
     fn from(e: ReadError) -> Self {
         LoadError::Params(e)
+    }
+}
+
+impl From<crate::config::ConfigError> for LoadError {
+    fn from(e: crate::config::ConfigError) -> Self {
+        LoadError::Config(e)
     }
 }
 
@@ -145,9 +154,15 @@ impl Lead {
     }
 
     /// Saves the trained model to a file.
-    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+    ///
+    /// # Errors
+    /// Returns [`crate::LeadError::Io`] when the file cannot be created or
+    /// written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), crate::LeadError> {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.write_to(&mut file)
+        self.write_to(&mut file)?;
+        file.flush()?;
+        Ok(())
     }
 
     /// Reads a model written by [`Self::write_to`].
@@ -223,8 +238,10 @@ impl Lead {
         }
         let normalizer = Normalizer::from_parts(mean, std);
 
-        // Rebuild the architecture, then fill weights section by section.
-        let mut lead = Lead::new_untrained(&config, options, normalizer);
+        // Rebuild the architecture, then fill weights section by section. The
+        // stored knobs are validated like any other configuration: a tampered
+        // or hand-edited file yields a typed error, never a panic.
+        let mut lead = Lead::new_untrained(&config, options, normalizer)?;
         loop {
             let section = next_line(r)?;
             if section == "end-model" {
@@ -266,9 +283,16 @@ impl Lead {
     }
 
     /// Loads a model saved with [`Self::save`].
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Lead, LoadError> {
-        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
-        Self::read_from(&mut file)
+    ///
+    /// # Errors
+    /// Returns [`crate::LeadError::Io`] when the file cannot be opened and
+    /// [`crate::LeadError::Load`] when its contents are not a valid model
+    /// (malformed lines, mismatched weight sections, or an invalid stored
+    /// configuration).
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Lead, crate::LeadError> {
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        Ok(Self::read_from(&mut reader)?)
     }
 }
 
@@ -341,7 +365,7 @@ mod tests {
             LeadOptions::no_gro(),
             LeadOptions::no_bac(),
         ] {
-            let (lead, _) = Lead::fit(&samples, &db, &cfg, options);
+            let (lead, _) = Lead::fit(&samples, &db, &cfg, options).expect("fit");
             let mut buf = Vec::new();
             lead.write_to(&mut buf).unwrap();
             let loaded = Lead::read_from(&mut buf.as_slice()).unwrap();
@@ -365,7 +389,7 @@ mod tests {
     fn save_and_load_through_a_file() {
         let (samples, db) = tiny_world();
         let cfg = LeadConfig::fast_test();
-        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full());
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full()).expect("fit");
         let path = std::env::temp_dir().join(format!("lead-model-{}.lead", std::process::id()));
         lead.save(&path).unwrap();
         let loaded = Lead::load(&path).unwrap();
@@ -388,10 +412,41 @@ mod tests {
     fn truncated_file_is_rejected() {
         let (samples, db) = tiny_world();
         let cfg = LeadConfig::fast_test();
-        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full());
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full()).expect("fit");
         let mut buf = Vec::new();
         lead.write_to(&mut buf).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(Lead::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn invalid_stored_config_is_a_typed_error() {
+        let (samples, db) = tiny_world();
+        let cfg = LeadConfig::fast_test();
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full()).expect("fit");
+        let mut buf = Vec::new();
+        lead.write_to(&mut buf).unwrap();
+        // Tamper with the config line: zero out ae_hidden (5th field after
+        // the tag), which must be rejected by validation, not panic.
+        let text = String::from_utf8(buf).unwrap();
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("config ") {
+                    let mut toks: Vec<String> =
+                        rest.split_whitespace().map(str::to_string).collect();
+                    toks[4] = "0".to_string();
+                    format!("config {}", toks.join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match Lead::read_from(&mut tampered.as_bytes()) {
+            Err(LoadError::Config(e)) => assert_eq!(e.field, "ae_hidden"),
+            Err(other) => panic!("expected LoadError::Config, got {other}"),
+            Ok(_) => panic!("tampered model accepted"),
+        }
     }
 }

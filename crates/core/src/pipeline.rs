@@ -1,18 +1,27 @@
 //! The end-to-end LEAD framework: offline training ([`Lead::fit`]) and online
 //! detection ([`Lead::detect`]), plus the ablation-variant switchboard
 //! ([`LeadOptions`]).
+//!
+//! Both stages are fallible ([`crate::error::LeadError`]) and observable:
+//! [`Lead::fit_opts`] and [`DetectOptions::probe`] accept a `lead_obs` probe
+//! that receives per-stage spans, counters, and training curves. Metrics are
+//! write-only — attaching a recording probe never changes a result bit
+//! (pinned by `crates/core/tests/obs_parity.rs`).
 
-use crate::config::LeadConfig;
+use crate::config::{ConfigError, LeadConfig};
 use crate::detection::{
     argmax_candidate, backward_flat_order, build_groups, forward_flat_order, merge_probabilities,
     smoothed_label, GroupDetector, MlpDetector,
 };
 use crate::encoding::{Autoencoder, EncoderKind};
+use crate::error::LeadError;
 use crate::features::{FeatureExtractor, Normalizer, TrajectoryFeatures};
 use crate::label::{truth_stay_indices, TruthLabel};
 use crate::poi::PoiDatabase;
 use crate::processing::{Candidate, ProcessedTrajectory};
 use lead_nn::Matrix;
+use lead_obs::clock;
+use lead_obs::probe::{Probe, NOOP};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -192,27 +201,28 @@ impl DetectionResult {
 ///
 /// ```no_run
 /// use lead_core::config::LeadConfig;
+/// use lead_core::error::LeadError;
 /// use lead_core::pipeline::{Lead, LeadOptions, TrainSample};
 /// use lead_core::poi::PoiDatabase;
 ///
 /// # fn demo(train: Vec<TrainSample>, val: Vec<TrainSample>,
-/// #         poi_db: PoiDatabase, raw: lead_geo::Trajectory) {
+/// #         poi_db: PoiDatabase, raw: lead_geo::Trajectory) -> Result<(), LeadError> {
 /// // Offline stage: learn from the historical archive.
 /// let (model, report) =
-///     Lead::fit_with_val(&train, &val, &poi_db, &LeadConfig::paper(), LeadOptions::full());
+///     Lead::fit_with_val(&train, &val, &poi_db, &LeadConfig::paper(), LeadOptions::full())?;
 /// println!("autoencoder converged to MSE {:?}", report.ae_curve.last());
 ///
 /// // Persist for the online service.
-/// model.save("hct.lead").unwrap();
+/// model.save("hct.lead")?;
 ///
 /// // Online stage: detect the loaded trajectory of an unseen raw trajectory.
-/// let model = Lead::load("hct.lead").unwrap();
+/// let model = Lead::load("hct.lead")?;
 /// if let Some(result) = model.detect(&raw, &poi_db) {
 ///     let (start_s, end_s) = result.loaded_interval_s();
 ///     println!("loaded trajectory ⟨sp_{} --→ sp_{}⟩ spans {start_s}–{end_s}",
 ///              result.detected.start_sp, result.detected.end_sp);
 /// }
-/// # }
+/// # Ok(()) }
 /// ```
 pub struct Lead {
     config: LeadConfig,
@@ -226,13 +236,14 @@ pub struct Lead {
 
 impl Lead {
     /// Builds an untrained model with freshly initialised weights — the
-    /// skeleton [`crate::persist`] fills when loading a saved model.
+    /// skeleton [`crate::persist`] fills when loading a saved model. Rejects
+    /// invalid configurations (including ones read from a model file).
     pub(crate) fn new_untrained(
         config: &LeadConfig,
         options: LeadOptions,
         normalizer: Normalizer,
-    ) -> Self {
-        config.validate();
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let kind = if options.hierarchical {
             EncoderKind::Hierarchical
@@ -257,7 +268,7 @@ impl Lead {
                 mlp = Some(MlpDetector::new(c_dim, &mut rng));
             }
         }
-        Lead {
+        Ok(Lead {
             config: config.clone(),
             options,
             normalizer,
@@ -265,7 +276,7 @@ impl Lead {
             forward_det,
             backward_det,
             mlp,
-        }
+        })
     }
 
     pub(crate) fn normalizer_ref(&self) -> &Normalizer {
@@ -310,31 +321,55 @@ impl Lead {
     /// training loss; prefer [`Self::fit_with_val`] when a validation split
     /// is available (the paper's protocol).
     ///
-    /// # Panics
-    /// Panics if no training sample survives processing.
+    /// # Errors
+    /// [`LeadError::Config`] on an invalid configuration;
+    /// [`LeadError::NoTrainableSamples`] when no sample survives processing.
     pub fn fit(
         samples: &[TrainSample],
         poi_db: &PoiDatabase,
         config: &LeadConfig,
         options: LeadOptions,
-    ) -> (Self, TrainingReport) {
-        Self::fit_with_val(samples, &[], poi_db, config, options)
+    ) -> Result<(Self, TrainingReport), LeadError> {
+        Self::fit_opts(samples, &[], poi_db, config, options, &NOOP)
     }
 
     /// [`Self::fit`] with a validation split: early stopping observes the
     /// validation losses and the best-validation-epoch weights are restored
     /// after each training stage (the paper's Early Stopping protocol).
     ///
-    /// # Panics
-    /// Panics if no training sample survives processing.
+    /// # Errors
+    /// [`LeadError::Config`] on an invalid configuration;
+    /// [`LeadError::NoTrainableSamples`] when no sample survives processing.
     pub fn fit_with_val(
         samples: &[TrainSample],
         val_samples: &[TrainSample],
         poi_db: &PoiDatabase,
         config: &LeadConfig,
         options: LeadOptions,
-    ) -> (Self, TrainingReport) {
-        config.validate();
+    ) -> Result<(Self, TrainingReport), LeadError> {
+        Self::fit_opts(samples, val_samples, poi_db, config, options, &NOOP)
+    }
+
+    /// [`Self::fit_with_val`] with an observability probe. The probe
+    /// receives stage spans (`fit`, `fit.features`, `fit.autoencoder`,
+    /// `fit.encode`, `fit.detectors`), per-trajectory processing counters,
+    /// per-epoch losses (`ae.epoch_mse`, `det.fwd.epoch_kld`, …), and
+    /// gradient norms from the trainer. Metrics are write-only: the trained
+    /// model and report are bit-identical for any probe.
+    ///
+    /// # Errors
+    /// [`LeadError::Config`] on an invalid configuration;
+    /// [`LeadError::NoTrainableSamples`] when no sample survives processing.
+    pub fn fit_opts(
+        samples: &[TrainSample],
+        val_samples: &[TrainSample],
+        poi_db: &PoiDatabase,
+        config: &LeadConfig,
+        options: LeadOptions,
+        probe: &dyn Probe,
+    ) -> Result<(Self, TrainingReport), LeadError> {
+        config.validate()?;
+        let _fit_span = clock::span(probe, "fit");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut report = TrainingReport::default();
 
@@ -343,7 +378,7 @@ impl Lead {
         let mut process_set = |set: &[TrainSample]| -> Vec<(ProcessedTrajectory, Candidate)> {
             let maybe: Vec<Option<(ProcessedTrajectory, Candidate)>> =
                 lead_nn::par::par_map(config.num_threads, set, |_, s| {
-                    let proc = ProcessedTrajectory::from_raw(&s.raw, config);
+                    let proc = ProcessedTrajectory::from_raw_probed(&s.raw, config, probe);
                     match truth_stay_indices(&proc, &s.truth) {
                         Some((l, u)) if proc.num_stay_points() >= 2 => {
                             Some((proc, Candidate::new(l, u)))
@@ -357,13 +392,17 @@ impl Lead {
         let processed = process_set(samples);
         let val_processed = process_set(val_samples);
         report.skipped_samples = skipped;
-        assert!(
-            !processed.is_empty(),
-            "no training sample survived processing"
-        );
+        if processed.is_empty() {
+            return Err(LeadError::NoTrainableSamples { skipped });
+        }
         report.used_samples = processed.len();
+        if probe.enabled() {
+            probe.count("fit.used_samples", processed.len() as u64);
+            probe.count("fit.skipped_samples", skipped as u64);
+        }
 
         // ---- feature normalisation ----------------------------------------
+        let feature_span = clock::span(probe, "fit.features");
         let mut fx = FeatureExtractor::new(poi_db, config, options.use_poi);
         // Rows are extracted per trajectory in parallel and flattened in
         // trajectory order, so the fitted normaliser is thread-count
@@ -390,14 +429,16 @@ impl Lead {
         let fx_ref = &fx;
         let features: Vec<TrajectoryFeatures> =
             lead_nn::par::par_map(config.num_threads, &processed, |_, (proc, _)| {
-                fx_ref.trajectory_features(proc)
+                fx_ref.trajectory_features_probed(proc, 1, probe)
             });
         let val_features: Vec<TrajectoryFeatures> =
             lead_nn::par::par_map(config.num_threads, &val_processed, |_, (proc, _)| {
-                fx_ref.trajectory_features(proc)
+                fx_ref.trajectory_features_probed(proc, 1, probe)
             });
+        drop(feature_span);
 
         // ---- autoencoder (self-supervised) ----------------------------------
+        let ae_span = clock::span(probe, "fit.autoencoder");
         let kind = if options.hierarchical {
             EncoderKind::Hierarchical
         } else {
@@ -421,15 +462,17 @@ impl Lead {
         let ae_val_samples = sample_candidates(&val_processed, &val_features, &mut rng);
         let val_opt = (!ae_val_samples.is_empty()).then_some(ae_val_samples.as_slice());
         let (ae_curve, ae_val_curve) =
-            autoencoder.train_with_validation(&ae_samples, val_opt, config, &mut rng);
+            autoencoder.train_probed(&ae_samples, val_opt, config, &mut rng, probe);
         report.ae_curve = ae_curve;
         report.ae_val_curve = ae_val_curve;
         drop(ae_samples);
         drop(ae_val_samples);
+        drop(ae_span);
 
         // ---- candidate encoding (compressor frozen) --------------------------
         // Parallel across trajectories; the per-trajectory encoding runs
         // serial (threads = 1) so threads are never nested.
+        let encode_span = clock::span(probe, "fit.encode");
         let ae_ref = &autoencoder;
         let encoded: Vec<Vec<Matrix>> =
             lead_nn::par::par_map(config.num_threads, &features, |i, tf| {
@@ -439,8 +482,10 @@ impl Lead {
             lead_nn::par::par_map(config.num_threads, &val_features, |i, tf| {
                 ae_ref.encode_all(tf, &val_processed[i].0.candidates, 1)
             });
+        drop(encode_span);
 
         // ---- detectors ---------------------------------------------------------
+        let detector_span = clock::span(probe, "fit.detectors");
         let c_dim = autoencoder.c_vec_dim();
         let mut forward_det = None;
         let mut backward_det = None;
@@ -472,15 +517,17 @@ impl Lead {
                 (group, label)
             })
         };
-        let train_group_detector =
-            |forward: bool, rng: &mut StdRng| -> (GroupDetector, Vec<f32>, Vec<f32>) {
-                let mut det = GroupDetector::new(config, c_dim, rng);
-                let items = detector_items(&processed, &encoded, forward);
-                let val_items = detector_items(&val_processed, &val_encoded, forward);
-                let val_opt = (!val_items.is_empty()).then_some(val_items.as_slice());
-                let (curve, val_curve) = det.train_with_validation(&items, val_opt, config, rng);
-                (det, curve, val_curve)
-            };
+        let train_group_detector = |forward: bool,
+                                    rng: &mut StdRng|
+         -> (GroupDetector, Vec<f32>, Vec<f32>) {
+            let mut det = GroupDetector::new(config, c_dim, rng);
+            let items = detector_items(&processed, &encoded, forward);
+            let val_items = detector_items(&val_processed, &val_encoded, forward);
+            let val_opt = (!val_items.is_empty()).then_some(val_items.as_slice());
+            let scope = if forward { "det.fwd" } else { "det.bwd" };
+            let (curve, val_curve) = det.train_probed(&items, val_opt, config, rng, probe, scope);
+            (det, curve, val_curve)
+        };
 
         match options.detector {
             DetectorChoice::Both => {
@@ -522,12 +569,11 @@ impl Lead {
                 let items = mlp_items(&processed, &encoded);
                 let val_items = mlp_items(&val_processed, &val_encoded);
                 let val_opt = (!val_items.is_empty()).then_some(val_items.as_slice());
-                report.mlp_curve = det
-                    .train_with_validation(&items, val_opt, config, &mut rng)
-                    .0;
+                report.mlp_curve = det.train_probed(&items, val_opt, config, &mut rng, probe).0;
                 mlp = Some(det);
             }
         }
+        drop(detector_span);
 
         let lead = Lead {
             config: config.clone(),
@@ -539,7 +585,7 @@ impl Lead {
             backward_det,
             mlp,
         };
-        (lead, report)
+        Ok((lead, report))
     }
 
     /// The configured variant.
@@ -554,73 +600,109 @@ impl Lead {
 
     /// The online stage: detects the loaded trajectory of an unseen raw
     /// trajectory. Returns `None` when fewer than two stay points are
-    /// extracted (no candidate exists).
+    /// extracted (no candidate exists). Thin convenience for
+    /// [`Self::detect_opts`] with [`DetectOptions::default`].
     pub fn detect(
         &self,
         raw: &lead_geo::Trajectory,
         poi_db: &PoiDatabase,
     ) -> Option<DetectionResult> {
-        self.detect_with_threads(raw, poi_db, self.config.num_threads)
+        self.detect_opts(raw, poi_db, &DetectOptions::default())
     }
 
     /// Detects every raw trajectory of a batch, parallel across
     /// trajectories. Results keep the input order; a trajectory with fewer
     /// than two stay points yields `None`, exactly as [`Self::detect`].
+    /// Thin convenience for [`Self::detect_batch_opts`].
     pub fn detect_batch(
         &self,
         raws: &[lead_geo::Trajectory],
         poi_db: &PoiDatabase,
     ) -> Vec<Option<DetectionResult>> {
-        // Parallel across trajectories; each single detection runs serial
-        // (threads = 1) so threads are never nested.
-        lead_nn::par::par_map(self.config.num_threads, raws, |_, raw| {
-            self.detect_with_threads(raw, poi_db, 1)
-        })
+        self.detect_batch_opts(raws, poi_db, &DetectOptions::default())
     }
 
-    /// [`Self::detect`] with an explicit thread count, overriding
-    /// `config.num_threads`. Callers that already parallelise across
-    /// trajectories (for example an evaluation sweep) should pass `1` so
-    /// thread pools are never nested.
-    pub fn detect_with_threads(
+    /// [`Self::detect`] with explicit [`DetectOptions`]: a worker-thread
+    /// override and an observability probe receiving per-stage spans
+    /// (`detect`, `processing`, `features`, `encode`, `detect.score`,
+    /// `detect.merge`) and counters. Results are bit-identical for every
+    /// thread count and probe.
+    pub fn detect_opts(
         &self,
         raw: &lead_geo::Trajectory,
         poi_db: &PoiDatabase,
-        num_threads: usize,
+        opts: &DetectOptions<'_>,
     ) -> Option<DetectionResult> {
-        let proc = ProcessedTrajectory::from_raw(raw, &self.config);
-        self.detect_processed_threads(proc, poi_db, num_threads)
+        let _span = clock::span(opts.probe, "detect");
+        let proc = ProcessedTrajectory::from_raw_probed(raw, &self.config, opts.probe);
+        self.detect_processed_opts(proc, poi_db, opts)
     }
 
-    /// Scores an already-processed trajectory (used by [`Self::detect`] and
-    /// by [`crate::streaming::StreamingDetector`], which maintains its own
-    /// incremental processing state).
-    pub fn detect_processed(
+    /// [`Self::detect_batch`] with explicit [`DetectOptions`]; additionally
+    /// records batch counters (`batch.trajectories`, `batch.detected`) and a
+    /// `batch.throughput_per_s` gauge when a recording probe is attached.
+    pub fn detect_batch_opts(
+        &self,
+        raws: &[lead_geo::Trajectory],
+        poi_db: &PoiDatabase,
+        opts: &DetectOptions<'_>,
+    ) -> Vec<Option<DetectionResult>> {
+        let probe = opts.probe;
+        let stopwatch = probe.enabled().then(clock::Stopwatch::start);
+        let outer_threads = opts.num_threads.unwrap_or(self.config.num_threads);
+        // Parallel across trajectories; each single detection runs serial
+        // (threads = 1) so threads are never nested.
+        let single = DetectOptions {
+            num_threads: Some(1),
+            probe,
+        };
+        let results = lead_nn::par::par_map(outer_threads, raws, |_, raw| {
+            self.detect_opts(raw, poi_db, &single)
+        });
+        if let Some(sw) = stopwatch {
+            probe.count("batch.trajectories", raws.len() as u64);
+            probe.count("batch.detected", results.iter().flatten().count() as u64);
+            let secs = sw.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                probe.gauge("batch.throughput_per_s", raws.len() as f64 / secs);
+            }
+        }
+        results
+    }
+
+    /// Scores an already-processed trajectory (used by [`Self::detect_opts`]
+    /// and by [`crate::streaming::StreamingDetector`], which maintains its
+    /// own incremental processing state).
+    pub fn detect_processed_opts(
         &self,
         proc: ProcessedTrajectory,
         poi_db: &PoiDatabase,
+        opts: &DetectOptions<'_>,
     ) -> Option<DetectionResult> {
-        self.detect_processed_threads(proc, poi_db, self.config.num_threads)
-    }
-
-    fn detect_processed_threads(
-        &self,
-        proc: ProcessedTrajectory,
-        poi_db: &PoiDatabase,
-        num_threads: usize,
-    ) -> Option<DetectionResult> {
+        let probe = opts.probe;
+        let num_threads = opts.num_threads.unwrap_or(self.config.num_threads);
         let n = proc.num_stay_points();
         if n < 2 {
+            if probe.enabled() {
+                probe.count("detect.no_candidates", 1);
+            }
             return None;
+        }
+        if probe.enabled() {
+            probe.count("detect.calls", 1);
+            probe.observe("detect.stay_points", n as f64);
         }
         let mut fx = FeatureExtractor::new(poi_db, &self.config, self.options.use_poi);
         fx.set_normalizer(self.normalizer.clone());
-        let tf = fx.trajectory_features_par(&proc, num_threads);
-        let cvecs = self
-            .autoencoder
-            .encode_all(&tf, &proc.candidates, num_threads);
+        let tf = fx.trajectory_features_probed(&proc, num_threads, probe);
+        let cvecs = {
+            let _span = clock::span(probe, "encode");
+            self.autoencoder
+                .encode_all(&tf, &proc.candidates, num_threads)
+        };
         let by_cand = candidate_index_map(n);
 
+        let score_span = clock::span(probe, "detect.score");
         let probabilities = match self.options.detector {
             DetectorChoice::Mlp => {
                 // lint: allow(panic): construction invariant — fit() trains the detector selected by `options.detector`
@@ -650,6 +732,7 @@ impl Lead {
                                 .expect("backward detector trained"),
                             &groups.backward,
                         );
+                        let _merge_span = clock::span(probe, "detect.merge");
                         merge_probabilities(n, &f, &b)
                     }
                     DetectorChoice::ForwardOnly => run(
@@ -674,6 +757,7 @@ impl Lead {
                 }
             }
         };
+        drop(score_span);
 
         let detected = argmax_candidate(n, &probabilities)?;
         Some(DetectionResult {
@@ -681,6 +765,57 @@ impl Lead {
             probabilities,
             detected,
         })
+    }
+}
+
+/// Options for one detection call ([`Lead::detect_opts`],
+/// [`Lead::detect_batch_opts`], [`Lead::detect_processed_opts`]).
+///
+/// The `Default` instance reproduces [`Lead::detect`] exactly: the model's
+/// configured thread count and no instrumentation.
+#[derive(Clone, Copy)]
+pub struct DetectOptions<'p> {
+    /// Worker threads for the candidate-parallel stages; `None` uses the
+    /// model's `config.num_threads`. Callers that already parallelise across
+    /// trajectories (an evaluation sweep, [`Lead::detect_batch_opts`])
+    /// should pass `Some(1)` so thread pools are never nested. Every value
+    /// yields bit-identical results (the `lead_nn::par` contract).
+    pub num_threads: Option<usize>,
+    /// Observability sink receiving per-stage spans and counters. Metric
+    /// values never feed back into computation: detection results are
+    /// bit-identical whether or not a recording probe is attached.
+    pub probe: &'p dyn Probe,
+}
+
+impl Default for DetectOptions<'_> {
+    fn default() -> Self {
+        DetectOptions {
+            num_threads: None,
+            probe: &NOOP,
+        }
+    }
+}
+
+impl<'p> DetectOptions<'p> {
+    /// Default options: model thread count, no probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker-thread count for this call.
+    #[must_use]
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Attaches an observability probe for this call.
+    #[must_use]
+    pub fn with_probe<'q>(self, probe: &'q dyn Probe) -> DetectOptions<'q> {
+        DetectOptions {
+            num_threads: self.num_threads,
+            probe,
+        }
     }
 }
 

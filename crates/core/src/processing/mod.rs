@@ -42,9 +42,31 @@ pub struct ProcessedTrajectory {
 impl ProcessedTrajectory {
     /// Runs noise filtering → stay-point extraction → candidate generation.
     pub fn from_raw(raw: &Trajectory, config: &LeadConfig) -> Self {
+        Self::from_raw_probed(raw, config, &lead_obs::probe::NOOP)
+    }
+
+    /// [`Self::from_raw`] with an observability probe: records a
+    /// `processing` span plus per-trajectory counters (points in / filtered
+    /// out) and observations (stay points, candidates). Metrics are
+    /// write-only — the processed trajectory is identical for any probe.
+    pub fn from_raw_probed(
+        raw: &Trajectory,
+        config: &LeadConfig,
+        probe: &dyn lead_obs::probe::Probe,
+    ) -> Self {
+        let _span = lead_obs::clock::span(probe, "processing");
         let cleaned = filter_noise(raw, config.v_max_kmh);
         let stay_points = extract_stay_points(&cleaned, config.d_max_m, config.t_min_s as f64);
         let candidates = enumerate_candidates(stay_points.len());
+        if probe.enabled() {
+            probe.count("processing.points_in", raw.len() as u64);
+            probe.count(
+                "processing.points_filtered",
+                raw.len().saturating_sub(cleaned.len()) as u64,
+            );
+            probe.observe("processing.stay_points", stay_points.len() as f64);
+            probe.observe("processing.candidates", candidates.len() as f64);
+        }
         Self {
             cleaned,
             stay_points,

@@ -15,10 +15,11 @@
 //! stay points as [`ProcessedTrajectory::from_raw`] (a property test pins
 //! this down).
 
-use crate::pipeline::{DetectionResult, Lead};
+use crate::pipeline::{DetectOptions, DetectionResult, Lead};
 use crate::poi::PoiDatabase;
 use crate::processing::{enumerate_candidates, ProcessedTrajectory, StayPoint};
 use lead_geo::{GpsPoint, Trajectory};
+use lead_obs::probe::{Probe, NOOP};
 
 /// Incremental stay-point extraction over a growing point buffer — the
 /// online form of [`crate::processing::extract_stay_points`], maintaining
@@ -126,11 +127,21 @@ pub struct StreamingDetector<'m, 'p> {
     stays: Vec<StayPoint>,
     extractor: IncrementalStayExtractor,
     v_max_mps: f64,
+    probe: &'p dyn Probe,
 }
 
 impl<'m, 'p> StreamingDetector<'m, 'p> {
     /// Starts a stream against a trained model.
     pub fn new(model: &'m Lead, poi_db: &'p PoiDatabase) -> Self {
+        Self::with_probe(model, poi_db, &NOOP)
+    }
+
+    /// [`Self::new`] with an observability probe: records
+    /// `stream.points_in` / `stream.points_filtered` /
+    /// `stream.stays_completed` / `stream.rescores` counters as the stream
+    /// advances. Metrics are write-only — updates and detections are
+    /// identical for any probe.
+    pub fn with_probe(model: &'m Lead, poi_db: &'p PoiDatabase, probe: &'p dyn Probe) -> Self {
         let v_max_mps = model.config().v_max_kmh / 3.6;
         let extractor =
             IncrementalStayExtractor::new(model.config().d_max_m, model.config().t_min_s);
@@ -141,6 +152,7 @@ impl<'m, 'p> StreamingDetector<'m, 'p> {
             stays: Vec::new(),
             extractor,
             v_max_mps,
+            probe,
         }
     }
 
@@ -159,10 +171,17 @@ impl<'m, 'p> StreamingDetector<'m, 'p> {
     /// # Panics
     /// Panics if `p` is not strictly later than the previous accepted point.
     pub fn push(&mut self, p: GpsPoint) -> StreamUpdate {
+        let probing = self.probe.enabled();
+        if probing {
+            self.probe.count("stream.points_in", 1);
+        }
         // Incremental noise filter: judge against the last kept point.
         if let Some(last) = self.points.last() {
             assert!(p.t > last.t, "stream must be chronological");
             if last.speed_to_mps(&p) > self.v_max_mps {
+                if probing {
+                    self.probe.count("stream.points_filtered", 1);
+                }
                 return StreamUpdate {
                     filtered_out: true,
                     completed_stays: Vec::new(),
@@ -175,6 +194,10 @@ impl<'m, 'p> StreamingDetector<'m, 'p> {
         for stay in self.extractor.on_point_appended(&self.points) {
             self.stays.push(stay);
             completed_stays.push(self.stays.len() - 1);
+        }
+        if probing && !completed_stays.is_empty() {
+            self.probe
+                .count("stream.stays_completed", completed_stays.len() as u64);
         }
         let hypothesis = if !completed_stays.is_empty() && self.stays.len() >= 2 {
             self.score()
@@ -197,8 +220,12 @@ impl<'m, 'p> StreamingDetector<'m, 'p> {
     }
 
     fn score(&self) -> Option<DetectionResult> {
+        if self.probe.enabled() {
+            self.probe.count("stream.rescores", 1);
+        }
+        let opts = DetectOptions::new().with_probe(self.probe);
         self.model
-            .detect_processed(self.current_processed(), self.poi_db)
+            .detect_processed_opts(self.current_processed(), self.poi_db, &opts)
     }
 
     /// Ends the stream: closes a qualifying trailing run (the batch
@@ -249,7 +276,8 @@ mod tests {
         use crate::pipeline::LeadOptions;
         let cfg = LeadConfig::fast_test();
         let model =
-            Lead::new_untrained(&cfg, LeadOptions::full(), Normalizer::identity(FEATURE_DIM));
+            Lead::new_untrained(&cfg, LeadOptions::full(), Normalizer::identity(FEATURE_DIM))
+                .expect("fast_test config is valid");
         let db = PoiDatabase::new(vec![]);
         (model, db)
     }

@@ -8,7 +8,7 @@
 //! path exactly, not approximately.
 
 use lead_core::config::LeadConfig;
-use lead_core::pipeline::{DetectionResult, Lead, LeadOptions, TrainSample};
+use lead_core::pipeline::{DetectOptions, DetectionResult, Lead, LeadOptions, TrainSample};
 use lead_core::poi::{Poi, PoiCategory, PoiDatabase};
 use lead_geo::distance::meters_to_lng_deg;
 use lead_geo::{GpsPoint, Trajectory};
@@ -89,7 +89,7 @@ fn fit_with_threads(num_threads: usize) -> (Lead, lead_core::pipeline::TrainingR
     let (train, val) = train_val_sets();
     let mut config = LeadConfig::fast_test();
     config.num_threads = num_threads;
-    Lead::fit_with_val(&train, &val, &poi_db(), &config, LeadOptions::full())
+    Lead::fit_with_val(&train, &val, &poi_db(), &config, LeadOptions::full()).expect("fit")
 }
 
 fn bits(curve: &[f32]) -> Vec<u32> {
@@ -216,8 +216,8 @@ proptest! {
     ) {
         let (model, db) = shared_model();
         let (raw, _) = synthetic_day(blocks, variant);
-        let serial = model.detect_with_threads(&raw, db, 1);
-        let parallel = model.detect_with_threads(&raw, db, threads);
+        let serial = model.detect_opts(&raw, db, &DetectOptions::new().with_threads(1));
+        let parallel = model.detect_opts(&raw, db, &DetectOptions::new().with_threads(threads));
         prop_assert_eq!(detection_fingerprint(&serial), detection_fingerprint(&parallel));
         if blocks < 2 {
             prop_assert!(serial.is_none(), "fewer than two stays admit no candidate");

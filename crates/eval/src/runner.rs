@@ -7,8 +7,10 @@ use crate::timing::{BucketTiming, Stopwatch};
 use lead_baselines::{RnnKind, SpR, SpRnn, SpRnnConfig};
 use lead_core::config::LeadConfig;
 use lead_core::label::truth_stay_indices;
-use lead_core::pipeline::{Lead, LeadOptions, TrainSample, TrainingReport};
+use lead_core::pipeline::{DetectOptions, Lead, LeadOptions, TrainSample, TrainingReport};
 use lead_core::processing::{Candidate, ProcessedTrajectory};
+use lead_core::LeadError;
+use lead_obs::probe::{Probe, NOOP};
 use lead_synth::{Dataset, Sample};
 
 /// A method under evaluation.
@@ -101,12 +103,35 @@ pub fn test_case(sample: &Sample, config: &LeadConfig) -> Option<(ProcessedTraje
 
 /// Trains `method` on `dataset.train` and evaluates accuracy + timing on
 /// `dataset.test`.
+///
+/// # Errors
+/// Returns a [`LeadError`] when LEAD training rejects the configuration or
+/// no training sample survives processing (baselines keep their panicking
+/// contracts — they are paper reproductions, not public API).
 pub fn train_and_evaluate(
     method: Method,
     dataset: &Dataset,
     lead_config: &LeadConfig,
     rnn_config: &SpRnnConfig,
-) -> EvalOutcome {
+) -> Result<EvalOutcome, LeadError> {
+    train_and_evaluate_probed(method, dataset, lead_config, rnn_config, &NOOP)
+}
+
+/// [`train_and_evaluate`] with an observability probe: records an
+/// `eval.train` span around training, an `eval.sweep` span around the test
+/// sweep, an `eval.sweep_per_s` throughput gauge, and (for LEAD) everything
+/// the core pipeline emits. Metrics are write-only — the outcome is
+/// identical for any probe.
+///
+/// # Errors
+/// Same contract as [`train_and_evaluate`].
+pub fn train_and_evaluate_probed(
+    method: Method,
+    dataset: &Dataset,
+    lead_config: &LeadConfig,
+    rnn_config: &SpRnnConfig,
+    probe: &dyn Probe,
+) -> Result<EvalOutcome, LeadError> {
     let train = to_train_samples(&dataset.train);
     let val = to_train_samples(&dataset.val);
     let poi_db = &dataset.city.poi_db;
@@ -117,22 +142,27 @@ pub fn train_and_evaluate(
         Rnn(SpRnn),
         Lead(Box<Lead>),
     }
-    let (model, report) = match method {
-        Method::SpR => (
-            Model::SpR(SpR::fit(&train, lead_config)),
-            TrainingReport::default(),
-        ),
-        Method::SpGru => {
-            let (m, _curve) = SpRnn::fit(RnnKind::Gru, &train, poi_db, lead_config, rnn_config);
-            (Model::Rnn(m), TrainingReport::default())
-        }
-        Method::SpLstm => {
-            let (m, _curve) = SpRnn::fit(RnnKind::Lstm, &train, poi_db, lead_config, rnn_config);
-            (Model::Rnn(m), TrainingReport::default())
-        }
-        Method::Lead(options) => {
-            let (m, report) = Lead::fit_with_val(&train, &val, poi_db, lead_config, options);
-            (Model::Lead(Box::new(m)), report)
+    let (model, report) = {
+        let _train_span = lead_obs::clock::span(probe, "eval.train");
+        match method {
+            Method::SpR => (
+                Model::SpR(SpR::fit(&train, lead_config)),
+                TrainingReport::default(),
+            ),
+            Method::SpGru => {
+                let (m, _curve) = SpRnn::fit(RnnKind::Gru, &train, poi_db, lead_config, rnn_config);
+                (Model::Rnn(m), TrainingReport::default())
+            }
+            Method::SpLstm => {
+                let (m, _curve) =
+                    SpRnn::fit(RnnKind::Lstm, &train, poi_db, lead_config, rnn_config);
+                (Model::Rnn(m), TrainingReport::default())
+            }
+            Method::Lead(options) => {
+                let (m, report) =
+                    Lead::fit_opts(&train, &val, poi_db, lead_config, options, probe)?;
+                (Model::Lead(Box::new(m)), report)
+            }
         }
     };
     let train_seconds = t0.elapsed().as_secs_f64();
@@ -146,7 +176,10 @@ pub fn train_and_evaluate(
     // with 1 inner thread so pools are never nested); metrics are folded in
     // sample order afterwards, so bucket statistics are thread-count
     // independent. Per-sample wall-clock is measured inside the worker.
+    let sweep_span = lead_obs::clock::span(probe, "eval.sweep");
+    let sweep_watch = probe.enabled().then(lead_obs::clock::Stopwatch::start);
     let model_ref = &model;
+    let detect_opts = DetectOptions::new().with_threads(1).with_probe(probe);
     let per_sample = lead_nn::par::par_map(lead_config.num_threads, &dataset.test, |_, sample| {
         let (proc, truth_cand) = test_case(sample, lead_config)?;
         let n = proc.num_stay_points();
@@ -155,7 +188,7 @@ pub fn train_and_evaluate(
             Model::SpR(m) => m.detect(&sample.raw).map(|d| d.candidate()),
             Model::Rnn(m) => m.detect(&sample.raw, poi_db).map(|d| d.candidate()),
             Model::Lead(m) => m
-                .detect_with_threads(&sample.raw, poi_db, 1)
+                .detect_opts(&sample.raw, poi_db, &detect_opts)
                 .map(|d| d.detected),
         };
         let elapsed = t.elapsed();
@@ -166,6 +199,13 @@ pub fn train_and_evaluate(
             .unwrap_or(0.0);
         Some((n, hit, elapsed, detected_iou))
     });
+    drop(sweep_span);
+    if let Some(w) = sweep_watch {
+        let secs = w.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            probe.gauge("eval.sweep_per_s", dataset.test.len() as f64 / secs);
+        }
+    }
     for outcome in per_sample {
         let Some((n, hit, elapsed, detected_iou)) = outcome else {
             excluded += 1;
@@ -176,7 +216,7 @@ pub fn train_and_evaluate(
         iou.record(n, detected_iou);
     }
 
-    EvalOutcome {
+    Ok(EvalOutcome {
         name: method.name(),
         accuracy,
         timing,
@@ -184,7 +224,7 @@ pub fn train_and_evaluate(
         report,
         train_seconds,
         excluded_test_samples: excluded,
-    }
+    })
 }
 
 /// The time span `(start_s, end_s)` of a candidate's loaded trajectory.
@@ -208,7 +248,8 @@ mod tests {
             &ds,
             &LeadConfig::fast_test(),
             &SpRnnConfig::fast_test(),
-        );
+        )
+        .expect("eval");
         assert_eq!(out.name, "SP-R");
         assert!(out.accuracy.total() > 0, "no test sample scored");
         // SP-R must beat random guessing on a tiny easy world: random picks

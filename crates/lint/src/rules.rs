@@ -4,20 +4,21 @@
 //! DESIGN.md) distinguishes three file classes:
 //!
 //! - **library crates** (`lead_core`, `lead_nn`, `lead_geo`, `lead_eval`,
-//!   `lead_baselines`, `lead_synth`) — must be panic-free (R2) on degenerate
-//!   input;
-//! - **result-affecting crates** (`lead_core`, `lead_nn`, `lead_eval`) —
-//!   everything feeding the `c-vec`s, probability distributions, and
-//!   evaluation reports; must be order-deterministic (R1) and wall-clock
-//!   free (R5);
+//!   `lead_baselines`, `lead_synth`, `lead_obs`) — must be panic-free (R2)
+//!   on degenerate input;
+//! - **result-affecting crates** (`lead_core`, `lead_nn`, `lead_eval`,
+//!   `lead_obs`) — everything feeding the `c-vec`s, probability
+//!   distributions, and evaluation reports; must be order-deterministic (R1)
+//!   and wall-clock free (R5 — with `lead_eval::timing` and
+//!   `lead_obs::clock` as the two sanctioned wall-clock homes);
 //! - **numeric kernels** (`lead_nn`, `lead_core::detection`,
 //!   `lead_core::encoding`, `lead_core::features`) — must not narrow floats
 //!   or compare them exactly without a guard (R4).
 //!
 //! R3 (thread spawning) and waiver hygiene apply to every scanned file; R6
-//! (doc comments) applies to `lead_core` and `lead_nn`. Test code
-//! (`#[cfg(test)]` regions; `tests/` and `benches/` trees are never scanned)
-//! is exempt from everything except waiver hygiene.
+//! (doc comments) applies to `lead_core`, `lead_nn`, and `lead_obs`. Test
+//! code (`#[cfg(test)]` regions; `tests/` and `benches/` trees are never
+//! scanned) is exempt from everything except waiver hygiene.
 
 use crate::diag::Diagnostic;
 use crate::scan::Line;
@@ -33,16 +34,17 @@ pub const RULE_IDS: [&str; 7] = [
     "missing-doc",
 ];
 
-const LIB_CRATES: [&str; 6] = [
+const LIB_CRATES: [&str; 7] = [
     "crates/core/",
     "crates/nn/",
     "crates/geo/",
     "crates/eval/",
     "crates/baselines/",
     "crates/synth/",
+    "crates/obs/",
 ];
 
-const RESULT_CRATES: [&str; 3] = ["crates/core/", "crates/nn/", "crates/eval/"];
+const RESULT_CRATES: [&str; 4] = ["crates/core/", "crates/nn/", "crates/eval/", "crates/obs/"];
 
 const KERNEL_PATHS: [&str; 3] = [
     "crates/nn/src/",
@@ -50,10 +52,10 @@ const KERNEL_PATHS: [&str; 3] = [
     "crates/core/src/encoding/",
 ];
 
-const DOC_CRATES: [&str; 2] = ["crates/core/", "crates/nn/"];
+const DOC_CRATES: [&str; 3] = ["crates/core/", "crates/nn/", "crates/obs/"];
 
 /// Files where wall-clock reads are the point (R5 exemption).
-const TIMING_FILES: [&str; 1] = ["crates/eval/src/timing.rs"];
+const TIMING_FILES: [&str; 2] = ["crates/eval/src/timing.rs", "crates/obs/src/clock.rs"];
 
 /// The one module allowed to create threads (R3 exemption).
 const PAR_FILES: [&str; 1] = ["crates/nn/src/par.rs"];

@@ -9,20 +9,39 @@
 
 use crate::optim::Adam;
 use crate::params::{Gradients, ParamSet};
+use lead_obs::probe::{Probe, NOOP};
 
 /// Accumulates per-sample gradients and steps the optimiser every
 /// `batch` submissions with the batch-mean gradient.
-#[derive(Debug)]
-pub struct AccumTrainer {
+///
+/// An optional [`Probe`] (see [`AccumTrainer::with_probe`]) receives the
+/// pre-clip gradient norm and an optimiser-step counter on every applied
+/// batch. Metric values are write-only: training is bit-identical with and
+/// without a recording probe attached.
+pub struct AccumTrainer<'p> {
     opt: Adam,
     batch: usize,
     clip_norm: Option<f32>,
     acc: Option<Gradients>,
     pending: usize,
+    probe: &'p dyn Probe,
+    scope: String,
 }
 
-impl AccumTrainer {
-    /// Creates a trainer stepping every `batch` samples.
+impl std::fmt::Debug for AccumTrainer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccumTrainer")
+            .field("opt", &self.opt)
+            .field("batch", &self.batch)
+            .field("clip_norm", &self.clip_norm)
+            .field("pending", &self.pending)
+            .field("scope", &self.scope)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccumTrainer<'static> {
+    /// Creates a trainer stepping every `batch` samples (unprobed).
     ///
     /// # Panics
     /// Panics if `batch == 0`.
@@ -34,14 +53,33 @@ impl AccumTrainer {
             clip_norm: None,
             acc: None,
             pending: 0,
+            probe: &NOOP,
+            scope: String::new(),
         }
     }
+}
 
+impl<'p> AccumTrainer<'p> {
     /// Enables global-norm gradient clipping at `max_norm` before each step.
     pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
         assert!(max_norm > 0.0, "clip norm must be positive");
         self.clip_norm = Some(max_norm);
         self
+    }
+
+    /// Attaches an observability probe. Each applied batch emits the
+    /// pre-clip gradient norm as `<scope>.grad_norm` and bumps
+    /// `<scope>.optim_steps`.
+    pub fn with_probe<'q>(self, probe: &'q dyn Probe, scope: &str) -> AccumTrainer<'q> {
+        AccumTrainer {
+            opt: self.opt,
+            batch: self.batch,
+            clip_norm: self.clip_norm,
+            acc: self.acc,
+            pending: self.pending,
+            probe,
+            scope: scope.to_string(),
+        }
     }
 
     /// Number of optimiser steps taken so far.
@@ -108,8 +146,23 @@ impl AccumTrainer {
             return;
         };
         acc.scale(1.0 / crate::num::exact_usize_f32(self.pending));
+        let probing = self.probe.enabled();
         if let Some(max) = self.clip_norm {
-            acc.clip_global_norm(max);
+            // The pre-clip norm is computed by the clip either way; only the
+            // probe emission is conditional, so results never depend on it.
+            let pre_clip = acc.clip_global_norm(max);
+            if probing {
+                self.probe
+                    .observe(&format!("{}.grad_norm", self.scope), f64::from(pre_clip));
+            }
+        } else if probing {
+            self.probe.observe(
+                &format!("{}.grad_norm", self.scope),
+                f64::from(acc.global_norm()),
+            );
+        }
+        if probing {
+            self.probe.count(&format!("{}.optim_steps", self.scope), 1);
         }
         self.opt.step(params, &acc);
         self.pending = 0;
@@ -287,6 +340,40 @@ mod tests {
         for threads in [1, 2, 4] {
             assert_eq!(run(threads, true), reference, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn probed_training_is_bit_identical_and_records_norms() {
+        use lead_obs::Recorder;
+        let targets: Vec<Matrix> = (0..6)
+            .map(|i| Matrix::from_vec(1, 2, vec![i as f32 * 0.2, -0.3]))
+            .collect();
+        let run = |probe: Option<&Recorder>| -> Vec<u32> {
+            let mut ps = ParamSet::new();
+            let w = ps.register("w", Matrix::from_vec(1, 2, vec![0.7, -0.4]));
+            let tr = AccumTrainer::new(Adam::new(&ps, 0.05), 2).with_clip_norm(5.0);
+            let mut tr = match probe {
+                Some(p) => tr.with_probe(p, "t"),
+                None => tr,
+            };
+            for target in &targets {
+                let mut g = Graph::new(&ps);
+                let wv = g.param(w);
+                let l = g.mse_loss(wv, target);
+                let grads = g.backward(l);
+                tr.submit(&mut ps, grads);
+            }
+            tr.flush(&mut ps);
+            ps.value(w).data().iter().map(|v| v.to_bits()).collect()
+        };
+        let rec = Recorder::new();
+        assert_eq!(run(None), run(Some(&rec)), "probe changed the arithmetic");
+        assert_eq!(rec.counter("t.optim_steps"), Some(3));
+        let snap = rec.snapshot();
+        let (name, norms) = &snap.histograms[0];
+        assert_eq!(name, "t.grad_norm");
+        assert_eq!(norms.count, 3);
+        assert!(norms.min >= 0.0);
     }
 
     #[test]

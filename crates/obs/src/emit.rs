@@ -1,0 +1,192 @@
+//! Deterministic emitters: JSON Lines (one metric per line) and an aligned
+//! text table. Hand-rolled — the workspace builds offline with no
+//! dependencies — and hardened against non-finite values, which JSON cannot
+//! represent (emitted as `null`).
+
+use crate::recorder::{MetricsSnapshot, Summary};
+
+/// Renders a snapshot as JSON Lines: one object per metric, name-sorted
+/// within each kind, kinds in the fixed order counter → gauge → histogram →
+/// span. The exact byte output is part of the contract (golden test in
+/// `crates/obs/tests/`).
+pub fn jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+            escape(name)
+        ));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}\n",
+            escape(name),
+            json_f64(*v)
+        ));
+    }
+    for (name, s) in &snap.histograms {
+        out.push_str(&summary_line("histogram", name, s));
+    }
+    for (name, s) in &snap.spans {
+        out.push_str(&summary_line("span", name, s));
+    }
+    out
+}
+
+/// Renders a snapshot as an aligned text table with KIND / NAME / VALUE
+/// columns; span times are shown in milliseconds.
+pub fn table(snap: &MetricsSnapshot) -> String {
+    let mut rows: Vec<(&'static str, String, String)> = Vec::new();
+    for (name, v) in &snap.counters {
+        rows.push(("counter", name.clone(), v.to_string()));
+    }
+    for (name, v) in &snap.gauges {
+        rows.push(("gauge", name.clone(), fmt_compact(*v)));
+    }
+    for (name, s) in &snap.histograms {
+        rows.push((
+            "histogram",
+            name.clone(),
+            format!(
+                "n={} mean={} min={} max={}",
+                s.count,
+                fmt_compact(s.mean()),
+                fmt_compact(s.min),
+                fmt_compact(s.max)
+            ),
+        ));
+    }
+    for (name, s) in &snap.spans {
+        rows.push((
+            "span",
+            name.clone(),
+            format!(
+                "n={} total={} mean={}",
+                s.count,
+                fmt_ms(s.sum),
+                fmt_ms(s.mean())
+            ),
+        ));
+    }
+    if rows.is_empty() {
+        return "(no metrics recorded)\n".to_string();
+    }
+    let name_w = rows
+        .iter()
+        .map(|(_, n, _)| n.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = format!("{:<9}  {:<name_w$}  VALUE\n", "KIND", "NAME");
+    for (kind, name, value) in &rows {
+        out.push_str(&format!("{kind:<9}  {name:<name_w$}  {value}\n"));
+    }
+    out
+}
+
+fn summary_line(kind: &str, name: &str, s: &Summary) -> String {
+    format!(
+        "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}\n",
+        escape(name),
+        s.count,
+        json_f64(s.sum),
+        json_f64(s.min),
+        json_f64(s.max),
+        json_f64(s.mean()),
+    )
+}
+
+/// JSON string-escapes a metric name.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON cannot represent NaN/∞ — emit `null` for them.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A short decimal rendering: up to six fractional digits, trailing zeros
+/// trimmed.
+fn fmt_compact(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let s = format!("{v:.6}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    if trimmed.is_empty() || trimmed == "-" {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+fn fmt_ms(nanos: f64) -> String {
+    format!("{}ms", fmt_compact(nanos / 1.0e6))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn names_are_json_escaped() {
+        let r = Recorder::new();
+        r.count("weird\"name\\with\ncontrol", 1);
+        let line = jsonl(&r.snapshot());
+        assert!(line.contains("weird\\\"name\\\\with\\ncontrol"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let r = Recorder::new();
+        r.gauge("bad", f64::NAN);
+        assert!(jsonl(&r.snapshot()).contains("\"value\":null"));
+    }
+
+    #[test]
+    fn empty_table_has_a_placeholder() {
+        let r = Recorder::new();
+        assert_eq!(table(&r.snapshot()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn table_lists_every_kind() {
+        let r = Recorder::new();
+        r.count("c", 1);
+        r.gauge("g", 0.5);
+        r.observe("h", 2.0);
+        r.span_ns("s", 1_000_000);
+        let t = table(&r.snapshot());
+        for kind in ["counter", "gauge", "histogram", "span"] {
+            assert!(t.contains(kind), "missing {kind} in:\n{t}");
+        }
+        assert!(t.contains("1ms"), "{t}");
+    }
+
+    #[test]
+    fn compact_float_trims_trailing_zeros() {
+        assert_eq!(fmt_compact(1.0), "1");
+        assert_eq!(fmt_compact(0.5), "0.5");
+        assert_eq!(fmt_compact(0.0), "0");
+        assert_eq!(fmt_compact(-2.25), "-2.25");
+    }
+}

@@ -1,0 +1,85 @@
+//! The [`Probe`] sink trait and its zero-cost no-op implementation.
+
+/// A write-only sink for metrics emitted by instrumented code paths.
+///
+/// All recording methods default to no-ops, so implementations only override
+/// what they care about. Implementations must be `Sync`: a single probe is
+/// shared by reference across the data-parallel workers of `lead_nn::par`.
+///
+/// Instrumented code may call [`Probe::enabled`] to skip preparatory work
+/// (metric-name allocation, clock reads) when nothing is listening, but must
+/// never branch its *computation* on it — results have to be bit-identical
+/// with and without a recording probe attached.
+pub trait Probe: Sync {
+    /// Whether this probe records anything. Disabled probes let callers skip
+    /// clock reads and name formatting entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn count(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Folds one observation into the named histogram summary.
+    fn observe(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one span duration, in nanoseconds, under `name`.
+    fn span_ns(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+}
+
+/// The probe that records nothing; [`Probe::enabled`] returns `false` so
+/// instrumented code skips clock reads and allocations on this path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A shared [`NoopProbe`] instance, the default sink everywhere a probe is
+/// optional (e.g. `DetectOptions::default()` in `lead-core`).
+pub static NOOP: NoopProbe = NoopProbe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_is_disabled_and_inert() {
+        assert!(!NOOP.enabled());
+        // All sink methods are callable and do nothing.
+        NOOP.count("c", 1);
+        NOOP.gauge("g", 1.0);
+        NOOP.observe("h", 1.0);
+        NOOP.span_ns("s", 1);
+    }
+
+    #[test]
+    fn default_methods_make_enabled_probes_inert_too() {
+        struct OnlyCounts(std::sync::atomic::AtomicU64);
+        impl Probe for OnlyCounts {
+            fn count(&self, _name: &str, delta: u64) {
+                self.0
+                    .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let p = OnlyCounts(std::sync::atomic::AtomicU64::new(0));
+        assert!(p.enabled());
+        p.count("c", 2);
+        p.gauge("g", 1.0); // default no-op
+        assert_eq!(p.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Golden test: the JSONL emitter's exact byte output is part of the
+//! contract — downstream log shippers parse it line by line.
+
+use lead_obs::{Probe, Recorder};
+
+#[test]
+fn jsonl_output_matches_golden() {
+    let r = Recorder::new();
+    r.count("processing.points_in", 120);
+    r.count("processing.points_in", 30);
+    r.count("detect.calls", 1);
+    r.gauge("batch.throughput_per_s", 12.5);
+    r.observe("ae.epoch_mse", 0.25);
+    r.observe("ae.epoch_mse", 0.75);
+    r.span_ns("detect", 2_000_000);
+
+    let got = r.snapshot().to_jsonl();
+    let want = concat!(
+        "{\"kind\":\"counter\",\"name\":\"detect.calls\",\"value\":1}\n",
+        "{\"kind\":\"counter\",\"name\":\"processing.points_in\",\"value\":150}\n",
+        "{\"kind\":\"gauge\",\"name\":\"batch.throughput_per_s\",\"value\":12.5}\n",
+        "{\"kind\":\"histogram\",\"name\":\"ae.epoch_mse\",\"count\":2,\"sum\":1,\"min\":0.25,\"max\":0.75,\"mean\":0.5}\n",
+        "{\"kind\":\"span\",\"name\":\"detect\",\"count\":1,\"sum\":2000000,\"min\":2000000,\"max\":2000000,\"mean\":2000000}\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn jsonl_is_stable_across_insertion_orders() {
+    let a = Recorder::new();
+    a.count("x", 1);
+    a.count("y", 2);
+    let b = Recorder::new();
+    b.count("y", 2);
+    b.count("x", 1);
+    assert_eq!(a.snapshot().to_jsonl(), b.snapshot().to_jsonl());
+}

@@ -43,19 +43,23 @@ fn main() {
     // 3. Offline stage: train LEAD on the training split.
     println!("\ntraining LEAD (offline stage)…");
     let train = to_train_samples(&dataset.train);
-    let (lead, report) = Lead::fit(&train, &dataset.city.poi_db, &config, LeadOptions::full());
+    let (lead, report) = Lead::fit(&train, &dataset.city.poi_db, &config, LeadOptions::full())
+        .expect("training failed");
+    // A curve can legitimately be empty (e.g. an ablation without that
+    // stage), so endpoints are printed as "n/a" rather than unwrapped.
+    let endpoint = |v: Option<&f32>| v.map_or("n/a".to_string(), |x| format!("{x:.4}"));
     println!(
-        "autoencoder MSE: {:.4} → {:.4} over {} epochs",
-        report.ae_curve.first().unwrap(),
-        report.ae_curve.last().unwrap(),
+        "autoencoder MSE: {} → {} over {} epochs",
+        endpoint(report.ae_curve.first()),
+        endpoint(report.ae_curve.last()),
         report.ae_curve.len()
     );
     println!(
-        "forward detector KLD: {:.3} → {:.3}; backward: {:.3} → {:.3}",
-        report.forward_kld_curve.first().unwrap(),
-        report.forward_kld_curve.last().unwrap(),
-        report.backward_kld_curve.first().unwrap(),
-        report.backward_kld_curve.last().unwrap(),
+        "forward detector KLD: {} → {}; backward: {} → {}",
+        endpoint(report.forward_kld_curve.first()),
+        endpoint(report.forward_kld_curve.last()),
+        endpoint(report.backward_kld_curve.first()),
+        endpoint(report.backward_kld_curve.last()),
     );
 
     // 4. Online stage: detect loaded trajectories of unseen trucks.

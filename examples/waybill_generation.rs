@@ -66,7 +66,8 @@ fn main() {
     config.detector_max_epochs = 12;
     println!("training LEAD…");
     let train = to_train_samples(&dataset.train);
-    let (lead, _) = Lead::fit(&train, &dataset.city.poi_db, &config, LeadOptions::full());
+    let (lead, _) = Lead::fit(&train, &dataset.city.poi_db, &config, LeadOptions::full())
+        .expect("training failed");
 
     println!("\nauto-generated waybills for the unseen test fleet:\n");
     for sample in dataset.test.iter().take(6) {

@@ -15,11 +15,13 @@
 //! - [`synth::dataset`] — the synthetic HCT dataset substituting the paper's
 //!   proprietary Nantong data;
 //! - [`baselines`] — SP-R / SP-GRU / SP-LSTM comparison methods;
-//! - [`eval`] — the experiment harness regenerating every table and figure.
+//! - [`eval`] — the experiment harness regenerating every table and figure;
+//! - [`obs`] — deterministic observability probes for the hot paths.
 
 pub use lead_baselines as baselines;
 pub use lead_core as core;
 pub use lead_eval as eval;
 pub use lead_geo as geo;
 pub use lead_nn as nn;
+pub use lead_obs as obs;
 pub use lead_synth as synth;
