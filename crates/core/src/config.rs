@@ -150,6 +150,10 @@ impl LeadConfig {
     ///
     /// Strict `>` comparisons double as NaN guards: a NaN threshold fails
     /// every ordering test and is rejected like any other bad value.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] naming the first field whose value violates
+    /// its constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let check = |ok: bool, field: &'static str, reason: &'static str| {
             if ok {

@@ -107,6 +107,9 @@ fn parse_hex_row(line: &str) -> Result<Vec<f32>, LoadError> {
 
 impl Lead {
     /// Writes the trained model to `w`.
+    ///
+    /// # Errors
+    /// Propagates any I/O error from the underlying writer.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let config = self.config();
         let options = self.options();
@@ -166,6 +169,11 @@ impl Lead {
     }
 
     /// Reads a model written by [`Self::write_to`].
+    ///
+    /// # Errors
+    /// Returns [`LoadError::Io`] when the reader fails and
+    /// [`LoadError::Format`] when the stream is not a valid model dump
+    /// (wrong header, malformed lines, or an invalid stored configuration).
     pub fn read_from<R: BufRead>(r: &mut R) -> Result<Lead, LoadError> {
         let mut line = String::new();
         let mut next_line = |r: &mut R| -> Result<String, LoadError> {

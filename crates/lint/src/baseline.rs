@@ -1,0 +1,169 @@
+//! Baseline ratchet: suppress known diagnostics, fail on new ones, and fail
+//! on baseline entries that no longer fire.
+//!
+//! The baseline file lists one known diagnostic per line as
+//! `file:line:rule`; blank lines and `#` comments are allowed. Ratchet mode
+//! (`--baseline <file>`) subtracts matched diagnostics from the report, so
+//! legacy debt doesn't block CI — but any *new* diagnostic still fails, and
+//! a baseline entry whose diagnostic has been fixed fails as
+//! `stale-baseline` (anchored at the baseline file and entry line). The
+//! baseline can therefore only ever shrink, never grow silently.
+
+use crate::diag::Diagnostic;
+
+/// One `file:line:rule` baseline entry, with its own line in the baseline
+/// file for stale-entry diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative path of the baselined diagnostic.
+    pub file: String,
+    /// 1-based line of the baselined diagnostic.
+    pub line: usize,
+    /// Rule id of the baselined diagnostic.
+    pub rule: String,
+    /// 1-based line of this entry inside the baseline file.
+    pub entry_line: usize,
+}
+
+/// Parses baseline `source`. Malformed lines are an error (a typo'd
+/// baseline silently suppressing nothing would defeat the ratchet).
+pub fn parse(source: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse_one = || -> Option<Entry> {
+            // `file:line:rule`, splitting from the right: paths contain no
+            // `:` on the platforms we build on, but stay defensive anyway.
+            let (rest, rule) = line.rsplit_once(':')?;
+            let (file, line_no) = rest.rsplit_once(':')?;
+            let line_no: usize = line_no.trim().parse().ok()?;
+            Some(Entry {
+                file: file.trim().to_string(),
+                line: line_no,
+                rule: rule.trim().to_string(),
+                entry_line: idx + 1,
+            })
+        };
+        match parse_one() {
+            Some(e) => entries.push(e),
+            None => {
+                return Err(format!(
+                    "baseline line {}: expected `file:line:rule`, got `{line}`",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Applies the ratchet: removes diagnostics matched by an entry, and turns
+/// every unmatched entry into a `stale-baseline` diagnostic at the baseline
+/// file itself. The result is re-sorted by `(file, line, rule)`.
+///
+/// Matching is exact on `(file, line, rule)` — two diagnostics of different
+/// rules on one line need two entries.
+pub fn apply(
+    mut diags: Vec<Diagnostic>,
+    entries: &[Entry],
+    baseline_rel_path: &str,
+) -> Vec<Diagnostic> {
+    let mut matched = vec![false; entries.len()];
+    diags.retain(|d| {
+        let hit = entries
+            .iter()
+            .position(|e| e.file == d.file && e.line == d.line && e.rule == d.rule);
+        match hit {
+            Some(i) => {
+                matched[i] = true;
+                false
+            }
+            None => true,
+        }
+    });
+    for (e, _) in entries.iter().zip(&matched).filter(|(_, m)| !**m) {
+        diags.push(Diagnostic {
+            file: baseline_rel_path.to_string(),
+            line: e.entry_line,
+            rule: "stale-baseline",
+            message: format!(
+                "baseline entry `{}:{}:{}` no longer fires — delete it so the \
+                 ratchet keeps tightening",
+                e.file, e.line, e.rule
+            ),
+            snippet: format!("{}:{}:{}", e.file, e.line, e.rule),
+        });
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_comments_and_blanks() {
+        let src = "# legacy debt\n\ncrates/core/src/model.rs:41:panic\nsrc/main.rs:7:float-cast\n";
+        let entries = parse(src).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].file, "crates/core/src/model.rs");
+        assert_eq!(entries[0].line, 41);
+        assert_eq!(entries[0].rule, "panic");
+        assert_eq!(entries[0].entry_line, 3);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(parse("not a baseline entry\n").is_err());
+        assert!(parse("a.rs:notanumber:panic\n").is_err());
+    }
+
+    #[test]
+    fn matched_suppressed_new_kept_stale_reported() {
+        let entries = parse("a.rs:1:panic\nb.rs:9:float-cast\n").expect("parses");
+        let out = apply(
+            vec![diag("a.rs", 1, "panic"), diag("c.rs", 2, "panic")],
+            &entries,
+            "lint.baseline",
+        );
+        // a.rs suppressed; c.rs (new) kept; b.rs entry stale.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].file, "c.rs");
+        assert_eq!(out[1].file, "lint.baseline");
+        assert_eq!(out[1].rule, "stale-baseline");
+        assert_eq!(out[1].line, 2);
+    }
+
+    #[test]
+    fn same_line_different_rules_need_separate_entries() {
+        let entries = parse("a.rs:1:panic\n").expect("parses");
+        let out = apply(
+            vec![diag("a.rs", 1, "panic"), diag("a.rs", 1, "float-cast")],
+            &entries,
+            "lint.baseline",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "float-cast");
+    }
+
+    #[test]
+    fn empty_baseline_changes_nothing() {
+        let entries = parse("").expect("parses");
+        let out = apply(vec![diag("a.rs", 1, "panic")], &entries, "lint.baseline");
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! A lossless, dependency-free token stream over Rust source text.
+//!
+//! This is the foundation the rest of the analyzer is built on: the
+//! line-oriented preprocessing of [`crate::scan`] and the cross-file import
+//! extraction of [`crate::workspace`] both replay this stream instead of
+//! re-implementing string/comment handling. The lexer understands just
+//! enough of the Rust token grammar — identifiers, numbers, plain and raw
+//! string literals (including multi-line bodies), char literals vs.
+//! lifetimes, line and nested block comments, punctuation — to classify
+//! every byte of the input exactly once.
+//!
+//! **Lossless** means the concatenation of every token's text reproduces the
+//! source byte-for-byte, so downstream passes can reconstruct any per-line
+//! view (and diagnostics can quote the original text) without a second copy
+//! of the lexing rules.
+
+/// The classification of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, carriage returns, and newlines.
+    Whitespace,
+    /// An identifier or keyword (`fn`, `use`, `HashMap`, `r#type`, …).
+    Ident,
+    /// A numeric literal (`42`, `0.5`, `1e-6`, `0xff`, `2f32`).
+    Number,
+    /// A lifetime (`'a`) — distinguished from [`TokenKind::Char`].
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`, `'{'`).
+    Char,
+    /// A string literal. `raw` marks `r"…"`/`r#"…"#` forms; `terminated` is
+    /// false only when the file ends inside the literal.
+    Str {
+        /// Whether this is a raw string literal.
+        raw: bool,
+        /// Whether the closing delimiter was found before end of input.
+        terminated: bool,
+    },
+    /// A `// …` comment running to end of line. `doc` marks `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// A `/* … */` comment (possibly nested and multi-line). `doc` marks
+    /// `/** … */` and `/*! … */`; `terminated` is false only at end of input.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+        /// Whether the closing delimiter was found before end of input.
+        terminated: bool,
+    },
+    /// Any other single byte (punctuation, operators, braces).
+    Punct,
+}
+
+/// One token: a kind, the exact source text, and the 1-based line its first
+/// byte sits on.
+#[derive(Debug, Clone)]
+pub struct Token<'s> {
+    /// The classification.
+    pub kind: TokenKind,
+    /// The exact slice of the source, delimiters included.
+    pub text: &'s str,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+/// Tokenizes `source` losslessly: the concatenated `text` of the returned
+/// tokens equals `source`.
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        // Last byte that would reach the *code* view of the current line
+        // (strings contribute their quotes, comments nothing). Used to keep
+        // the raw-string heuristic identical to the historical per-line
+        // scanner: `r"` only opens a raw string when it does not directly
+        // extend an identifier (`attr"` is not a raw string).
+        last_code_byte: None,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    last_code_byte: Option<u8>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token<'s>> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let kind = self.next_kind();
+            let text = &self.src[start..self.pos];
+            // Track line numbers and the last code-visible byte.
+            for &b in &self.bytes[start..self.pos] {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+            }
+            self.update_last_code_byte(kind, text);
+            out.push(Token {
+                kind,
+                text,
+                line: start_line,
+            });
+        }
+        out
+    }
+
+    fn update_last_code_byte(&mut self, kind: TokenKind, text: &str) {
+        match kind {
+            TokenKind::Whitespace => {
+                // A newline starts a fresh code line (empty so far); other
+                // whitespace reaches the code view verbatim.
+                self.last_code_byte = if text.contains('\n') {
+                    None
+                } else {
+                    text.bytes().last()
+                };
+            }
+            TokenKind::Ident | TokenKind::Number | TokenKind::Lifetime | TokenKind::Punct => {
+                self.last_code_byte = text.bytes().last();
+            }
+            TokenKind::Str { .. } => self.last_code_byte = Some(b'"'),
+            TokenKind::Char => self.last_code_byte = Some(b'\''),
+            TokenKind::LineComment { .. } => {}
+            TokenKind::BlockComment { .. } => {
+                if text.contains('\n') {
+                    self.last_code_byte = None;
+                }
+            }
+        }
+    }
+
+    /// Consumes one token starting at `self.pos` and returns its kind.
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+                {
+                    self.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                let doc = {
+                    let third = self.peek(2);
+                    // `////…` is an ordinary comment, like rustdoc treats it.
+                    (third == Some(b'/') && self.peek(3) != Some(b'/')) || third == Some(b'!')
+                };
+                while self.bytes.get(self.pos).is_some_and(|&b| b != b'\n') {
+                    self.pos += 1;
+                }
+                TokenKind::LineComment { doc }
+            }
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.plain_str(),
+            b'r' | b'b' if self.raw_str_start().is_some() => {
+                let hashes = self.raw_str_start().unwrap_or(0);
+                self.raw_str(hashes)
+            }
+            b'\'' => self.char_or_lifetime(),
+            _ if b.is_ascii_digit() => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+                {
+                    // Stop `1..n` range punctuation from being eaten.
+                    if self.bytes[self.pos] == b'.' && self.peek(1) == Some(b'.') {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                TokenKind::Number
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                // `r#ident` raw identifiers.
+                if (b == b'r' || b == b'b')
+                    && self.peek(1) == Some(b'#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                {
+                    self.pos += 2;
+                }
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                // Advance by whole UTF-8 characters so token boundaries
+                // always fall on char boundaries.
+                self.pos += utf8_len(b);
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let doc = matches!(self.peek(2), Some(b'*') | Some(b'!'))
+            // `/**/` is empty, not a doc comment.
+            && !(self.peek(2) == Some(b'*') && self.peek(3) == Some(b'/'));
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                self.pos += 2;
+                depth -= 1;
+                if depth == 0 {
+                    return TokenKind::BlockComment {
+                        doc,
+                        terminated: true,
+                    };
+                }
+            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                self.pos += 2;
+                depth += 1;
+            } else {
+                self.pos += 1;
+            }
+        }
+        TokenKind::BlockComment {
+            doc,
+            terminated: false,
+        }
+    }
+
+    fn plain_str(&mut self) -> TokenKind {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2, // may run past EOL/EOF harmlessly
+                b'"' => {
+                    self.pos += 1;
+                    return TokenKind::Str {
+                        raw: false,
+                        terminated: true,
+                    };
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.bytes.len();
+        TokenKind::Str {
+            raw: false,
+            terminated: false,
+        }
+    }
+
+    /// If the bytes at `self.pos` start a raw string (`r"`, `r#"`, …) in a
+    /// position where one can start, returns the `#` count.
+    fn raw_str_start(&self) -> Option<u32> {
+        if self.bytes[self.pos] != b'r' {
+            return None;
+        }
+        // `foo r"…"` starts one; `bar"…"` where `r` extends an identifier
+        // does not (matches the historical scanner's `prev_is_ident` check).
+        if self
+            .last_code_byte
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            return None;
+        }
+        let mut j = self.pos + 1;
+        let mut hashes = 0u32;
+        while self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        (self.bytes.get(j) == Some(&b'"')).then_some(hashes)
+    }
+
+    fn raw_str(&mut self, hashes: u32) -> TokenKind {
+        self.pos += 2 + hashes as usize; // `r`, hashes, opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' && self.has_hashes(self.pos + 1, hashes) {
+                self.pos += 1 + hashes as usize;
+                return TokenKind::Str {
+                    raw: true,
+                    terminated: true,
+                };
+            }
+            self.pos += 1;
+        }
+        TokenKind::Str {
+            raw: true,
+            terminated: false,
+        }
+    }
+
+    fn has_hashes(&self, from: usize, n: u32) -> bool {
+        let n = n as usize;
+        self.bytes.len() >= from + n && self.bytes[from..from + n].iter().all(|&b| b == b'#')
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        if let Some(len) = char_literal_len(self.bytes, self.pos) {
+            self.pos += len;
+            return TokenKind::Char;
+        }
+        // Lifetime: the quote plus any identifier run.
+        self.pos += 1;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        TokenKind::Lifetime
+    }
+}
+
+/// Byte length of the UTF-8 character starting with byte `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Length in bytes of a char literal starting at `i` (which holds `'`), or
+/// `None` when this is a lifetime.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: find the closing quote within a short window
+            // (covers \n, \', \\, \u{…}, \x7f).
+            let mut j = i + 2;
+            let end = usize::min(bytes.len(), i + 12);
+            while j < end {
+                if bytes[j] == b'\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if bytes.get(i + 2) == Some(&b'\'') => Some(3),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> String {
+        tokenize(src).iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn concatenation_is_lossless() {
+        let srcs = [
+            "fn main() { println!(\"hi {}\", 1 + 2); }\n",
+            "let r = r#\"raw \"inner\" text\"#; // done\n",
+            "/* outer /* inner */ still */ let x = 'a';\n",
+            "let lt: &'static str = \"s\"; let c = '{';\n",
+            "let multi = \"line one\\\n  line two\";\n",
+            "#[cfg(test)]\nmod tests {\n    use super::*;\n}\n",
+            "no trailing newline",
+        ];
+        for src in srcs {
+            assert_eq!(texts(src), *src, "lossless for {src:?}");
+        }
+    }
+
+    #[test]
+    fn kinds_are_classified() {
+        let toks = tokenize("use lead_nn::par; // x\n");
+        let kinds: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect();
+        assert_eq!(kinds[0], (TokenKind::Ident, "use"));
+        assert_eq!(kinds[1], (TokenKind::Ident, "lead_nn"));
+        assert_eq!(kinds[2], (TokenKind::Punct, ":"));
+        assert_eq!(kinds[4], (TokenKind::Ident, "par"));
+        assert!(matches!(
+            kinds.last().unwrap().0,
+            TokenKind::LineComment { doc: false }
+        ));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = tokenize("a\n/* one\ntwo */\nb\n");
+        let a = toks.iter().find(|t| t.text == "a").unwrap();
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        let c = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::BlockComment { .. }))
+            .unwrap();
+        assert_eq!((a.line, c.line, b.line), (1, 2, 4));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { '{' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'{'"));
+    }
+
+    #[test]
+    fn raw_strings_and_doc_comments() {
+        let toks = tokenize("/// doc\nlet x = r#\"panic! \"q\" \"#;\n");
+        assert!(matches!(toks[0].kind, TokenKind::LineComment { doc: true }));
+        assert!(toks.iter().any(|t| matches!(
+            t.kind,
+            TokenKind::Str {
+                raw: true,
+                terminated: true
+            }
+        )));
+    }
+}

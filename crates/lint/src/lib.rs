@@ -6,13 +6,16 @@
 //! any thread count, and no panics on degenerate GPS days — and this crate
 //! enforces it mechanically instead of by convention.
 //!
-//! The tool is a plain lexical/line-level scanner (no `syn`, no
-//! dependencies, so it runs in the offline build environment). It strips
-//! string literals and comments, tracks `#[cfg(test)]` regions by brace
-//! depth, and applies the rule catalog of [`rules`] to every workspace
-//! source file. Diagnostics are printed as `file:line: [rule] message` with
-//! the offending snippet; any diagnostic makes the binary exit non-zero,
-//! which is how `scripts/ci.sh` gates merges.
+//! The tool is built on a lossless hand-rolled tokenizer ([`lex`] — no
+//! `syn`, no dependencies, so it runs in the offline build environment).
+//! [`scan`] replays the token stream into per-line code/comment views
+//! (string literals blanked, comments routed aside) and tracks
+//! `#[cfg(test)]` regions by brace depth; [`rules`] applies the catalog to
+//! every workspace source file, and [`workspace`] adds the cross-file
+//! checks over the parsed manifests ([`manifest`]). Diagnostics are printed
+//! as `file:line: [rule] message` with the offending snippet (or as JSON);
+//! any diagnostic makes the binary exit non-zero, which is how
+//! `scripts/ci.sh` gates merges.
 //!
 //! # Rule catalog
 //!
@@ -25,6 +28,22 @@
 //! | `float-eq`    | R4b: no float `==`/`!=` against literals/consts in kernels      |
 //! | `wall-clock`  | R5: timing only in `lead_eval::timing` and benches              |
 //! | `missing-doc` | R6: every `pub` item in `lead_core`/`lead_nn` is documented     |
+//! | `layering`    | R7: imports are declared, acyclic, and on the sanctioned DAG    |
+//! | `error-contract` | R8: fallible `pub fn`s document `# Errors`; no stringly errors |
+//! | `scope-drift` | R9: every crate is classified; scope tables stay current        |
+//!
+//! R7–R9 are cross-file: they combine each file's token-level imports with a
+//! parsed subset of every workspace `Cargo.toml` ([`manifest`]), so an
+//! undeclared `use`, a dependency edge outside the sanctioned DAG, or a new
+//! crate missing from the classification tables fails the gate.
+//!
+//! # Output and ratchet
+//!
+//! The binary prints `file:line: [rule] message` by default, or a byte-stable
+//! JSON document with `--format json`. `--baseline <file>` enables ratchet
+//! mode: diagnostics listed in the baseline are suppressed, new ones fail,
+//! and baseline entries that no longer fire fail as `stale-baseline` so the
+//! baseline can only shrink.
 //!
 //! # Waivers
 //!
@@ -44,10 +63,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod baseline;
 pub mod diag;
+pub mod lex;
+pub mod manifest;
 pub mod rules;
 pub mod scan;
 pub mod walk;
+pub mod workspace;
 
 use diag::Diagnostic;
 
@@ -63,17 +86,30 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 }
 
 /// Scans the whole workspace rooted at `root` and returns all diagnostics,
-/// sorted by file and line. `Err` reports an I/O problem (unreadable file or
-/// directory), which the binary also treats as a gate failure.
+/// sorted by `(file, line, rule)`. `Err` reports an I/O problem (unreadable
+/// file or directory), which the binary also treats as a gate failure.
+///
+/// Unlike [`scan_source`], this runs the cross-file families too: each
+/// file's imports are checked against its crate's manifest (R7), and the
+/// manifest-level layering/classification checks run once over the whole
+/// workspace (R7/R9).
 pub fn scan_workspace(root: &std::path::Path) -> Result<Vec<Diagnostic>, String> {
     let files = walk::workspace_sources(root)?;
+    let manifests = manifest::workspace_manifests(root)?;
     let mut diags = Vec::new();
     for rel in &files {
         let full = root.join(rel);
         let source = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
-        diags.extend(scan_source(rel, &source));
+        let lines = scan::preprocess(&source);
+        let imports = workspace::imports(&source);
+        let checks = rules::FileChecks {
+            imports: &imports,
+            manifests: &manifests,
+        };
+        diags.extend(rules::apply_file(rel, &lines, Some(&checks)));
     }
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags.extend(workspace::workspace_checks(root, &manifests));
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(diags)
 }

@@ -1,13 +1,21 @@
 //! The `lead-lint` binary: scans the workspace and exits non-zero on any
-//! diagnostic. See the library docs for the rule catalog and waiver syntax.
+//! diagnostic. See the library docs for the rule catalog, waiver syntax,
+//! JSON output, and the baseline ratchet.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -15,6 +23,25 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("lead-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    eprintln!("lead-lint: unknown format `{other}` (text|json)");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("lead-lint: --format needs a value (text|json)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(p),
+                None => {
+                    eprintln!("lead-lint: --baseline needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -26,11 +53,14 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: lead-lint [--root DIR] [--list-rules]\n\n\
+                    "usage: lead-lint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]\n\n\
                      Scans the LEAD workspace sources and fails on violations of the\n\
-                     determinism & panic-freedom rule catalog (R1-R6, see DESIGN.md).\n\
-                     Waive a deliberate violation with a justified line comment:\n\
-                     '// lint: allow(<rule>): <reason>'."
+                     determinism, panic-freedom, and architecture rule catalog (R1-R9,\n\
+                     see DESIGN.md). Waive a deliberate violation with a justified line\n\
+                     comment: '// lint: allow(<rule>): <reason>'.\n\n\
+                     --baseline enables ratchet mode: diagnostics listed in FILE (one\n\
+                     'file:line:rule' per line) are suppressed, new diagnostics fail,\n\
+                     and entries that no longer fire fail as stale-baseline."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -64,21 +94,51 @@ fn main() -> ExitCode {
         }
     };
 
-    match lead_lint::scan_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("lead-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("lead-lint: {} diagnostic(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let mut diags = match lead_lint::scan_workspace(&root) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("lead-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if let Some(path) = &baseline {
+        // The path is resolved against the cwd (as typed), but diagnostics
+        // anchor at it verbatim so `lint.baseline:3: [stale-baseline] …`
+        // stays copy-pasteable.
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lead-lint: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match lead_lint::baseline::parse(&source) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("lead-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        diags = lead_lint::baseline::apply(diags, &entries, path);
+    }
+
+    match format {
+        Format::Json => print!("{}", lead_lint::diag::to_json(&diags)),
+        Format::Text => {
+            if diags.is_empty() {
+                println!("lead-lint: clean");
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("lead-lint: {} diagnostic(s)", diags.len());
+            }
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -21,10 +21,12 @@
 //! scanned) is exempt from everything except waiver hygiene.
 
 use crate::diag::Diagnostic;
+use crate::manifest::Manifest;
 use crate::scan::Line;
+use crate::workspace::{self, Import};
 
 /// The machine-readable rule identifiers, as used in waivers.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 10] = [
     "hash-order",
     "panic",
     "thread-spawn",
@@ -32,19 +34,138 @@ pub const RULE_IDS: [&str; 7] = [
     "float-eq",
     "wall-clock",
     "missing-doc",
+    "layering",
+    "error-contract",
+    "scope-drift",
 ];
 
-const LIB_CRATES: [&str; 7] = [
-    "crates/core/",
-    "crates/nn/",
-    "crates/geo/",
-    "crates/eval/",
-    "crates/baselines/",
-    "crates/synth/",
-    "crates/obs/",
-];
+/// A crate's role in the workspace, deciding which rule families apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Library code feeding the detection results: panic-free (R2),
+    /// order-deterministic (R1), wall-clock free (R5), typed errors (R8).
+    ResultLib,
+    /// Library code off the result path: panic-free (R2), typed errors (R8).
+    Lib,
+    /// Binaries and benches: free to panic, read the clock, use hash maps.
+    Bin,
+    /// Developer tooling (the lint gate itself): like `Bin`, but must stay
+    /// dependency-free.
+    Tool,
+}
 
-const RESULT_CRATES: [&str; 4] = ["crates/core/", "crates/nn/", "crates/eval/", "crates/obs/"];
+impl Class {
+    /// Every class, for validation and diagnostics.
+    pub const ALL: [Class; 4] = [Class::ResultLib, Class::Lib, Class::Bin, Class::Tool];
+
+    /// The metadata string used in `[package.metadata.lead] class = "…"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Class::ResultLib => "result-lib",
+            Class::Lib => "lib",
+            Class::Bin => "bin",
+            Class::Tool => "tool",
+        }
+    }
+}
+
+/// One classified workspace crate.
+pub struct CrateInfo {
+    /// Workspace-relative crate directory (`""` for the root crate).
+    pub dir: &'static str,
+    /// The package name in `Cargo.toml`.
+    pub package: &'static str,
+    /// The crate's class; `[package.metadata.lead]` must agree (R9).
+    pub class: Class,
+    /// Whether R6 (`missing-doc`) and the R8 `# Errors` requirement apply.
+    pub doc: bool,
+    /// Sanctioned workspace dependencies (R7); ignored for `Bin`.
+    pub allowed: &'static [&'static str],
+}
+
+/// The classification table — the single source of truth shared by the
+/// per-file scope helpers, the layering rules (R7), and the scope-drift
+/// audit (R9). Mirrored in DESIGN.md §10; adding a crate without extending
+/// this table is itself a diagnostic.
+pub const CRATES: [CrateInfo; 10] = [
+    CrateInfo {
+        dir: "",
+        package: "lead",
+        class: Class::Bin,
+        doc: false,
+        allowed: &[],
+    },
+    CrateInfo {
+        dir: "crates/baselines",
+        package: "lead-baselines",
+        class: Class::Lib,
+        doc: false,
+        allowed: &["lead-geo", "lead-nn", "lead-core"],
+    },
+    CrateInfo {
+        dir: "crates/bench",
+        package: "lead-bench",
+        class: Class::Bin,
+        doc: false,
+        allowed: &[],
+    },
+    CrateInfo {
+        dir: "crates/core",
+        package: "lead-core",
+        class: Class::ResultLib,
+        doc: true,
+        allowed: &["lead-geo", "lead-nn", "lead-obs"],
+    },
+    CrateInfo {
+        dir: "crates/eval",
+        package: "lead-eval",
+        class: Class::ResultLib,
+        doc: false,
+        allowed: &[
+            "lead-geo",
+            "lead-nn",
+            "lead-synth",
+            "lead-core",
+            "lead-baselines",
+            "lead-obs",
+        ],
+    },
+    CrateInfo {
+        dir: "crates/geo",
+        package: "lead-geo",
+        class: Class::Lib,
+        doc: false,
+        allowed: &[],
+    },
+    CrateInfo {
+        dir: "crates/lint",
+        package: "lead-lint",
+        class: Class::Tool,
+        doc: false,
+        allowed: &[],
+    },
+    CrateInfo {
+        dir: "crates/nn",
+        package: "lead-nn",
+        class: Class::ResultLib,
+        doc: true,
+        allowed: &["lead-obs"],
+    },
+    CrateInfo {
+        dir: "crates/obs",
+        package: "lead-obs",
+        class: Class::ResultLib,
+        doc: true,
+        allowed: &[],
+    },
+    CrateInfo {
+        dir: "crates/synth",
+        package: "lead-synth",
+        class: Class::Lib,
+        doc: false,
+        allowed: &["lead-geo", "lead-core"],
+    },
+];
 
 const KERNEL_PATHS: [&str; 3] = [
     "crates/nn/src/",
@@ -52,44 +173,84 @@ const KERNEL_PATHS: [&str; 3] = [
     "crates/core/src/encoding/",
 ];
 
-const DOC_CRATES: [&str; 3] = ["crates/core/", "crates/nn/", "crates/obs/"];
-
 /// Files where wall-clock reads are the point (R5 exemption).
 const TIMING_FILES: [&str; 2] = ["crates/eval/src/timing.rs", "crates/obs/src/clock.rs"];
 
 /// The one module allowed to create threads (R3 exemption).
 const PAR_FILES: [&str; 1] = ["crates/nn/src/par.rs"];
 
-fn in_any(rel: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| rel.starts_with(p))
+/// The classification-table entry for a crate directory (`""` = root).
+pub fn crate_info_by_dir(dir: &str) -> Option<&'static CrateInfo> {
+    CRATES.iter().find(|c| c.dir == dir)
+}
+
+/// Every scope-table path whose existence R9 verifies on the real
+/// workspace (`/`-suffixed entries are directories).
+pub fn scope_paths() -> impl Iterator<Item = &'static str> {
+    KERNEL_PATHS
+        .iter()
+        .chain(TIMING_FILES.iter())
+        .chain(PAR_FILES.iter())
+        .copied()
+}
+
+/// The classification of the crate owning `rel` (a workspace-relative source
+/// path), when it is in the table.
+fn class_of(rel: &str) -> Option<&'static CrateInfo> {
+    if rel.starts_with("src/") {
+        return crate_info_by_dir("");
+    }
+    CRATES
+        .iter()
+        .find(|c| !c.dir.is_empty() && rel.strip_prefix(c.dir).is_some_and(|r| r.starts_with('/')))
 }
 
 fn is_lib(rel: &str) -> bool {
-    in_any(rel, &LIB_CRATES)
+    class_of(rel).is_some_and(|c| matches!(c.class, Class::Lib | Class::ResultLib))
 }
 
 fn is_result_affecting(rel: &str) -> bool {
-    in_any(rel, &RESULT_CRATES)
+    class_of(rel).is_some_and(|c| c.class == Class::ResultLib)
 }
 
 fn is_kernel(rel: &str) -> bool {
-    in_any(rel, &KERNEL_PATHS) || rel == "crates/core/src/features.rs"
+    KERNEL_PATHS.iter().any(|p| rel.starts_with(p)) || rel == "crates/core/src/features.rs"
 }
 
 fn is_doc_scope(rel: &str) -> bool {
-    in_any(rel, &DOC_CRATES)
+    class_of(rel).is_some_and(|c| c.doc)
 }
 
-/// Applies the full catalog to one file's preprocessed lines.
+/// The cross-file context available when scanning a whole workspace: the
+/// file's extracted imports plus every parsed manifest. Absent for the
+/// single-file [`crate::scan_source`] entry point.
+pub struct FileChecks<'a> {
+    /// Imports extracted from this file's token stream.
+    pub imports: &'a [Import],
+    /// Every workspace manifest (including vendored shims).
+    pub manifests: &'a [Manifest],
+}
+
+/// Applies the single-file catalog to one file's preprocessed lines.
 pub fn apply(rel_path: &str, lines: &[Line]) -> Vec<Diagnostic> {
+    apply_file(rel_path, lines, None)
+}
+
+/// Applies the full catalog — the single-file rules plus, when `checks` is
+/// present, the per-import layering rule (R7) — to one file.
+pub fn apply_file(
+    rel_path: &str,
+    lines: &[Line],
+    checks: Option<&FileChecks<'_>>,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     // Which (line index, rule) pairs got waived, to detect unused waivers.
+    // Tracked per (line, rule) — a line carrying violations of two rules
+    // with only one waived must keep the waived rule silenced, fire the
+    // other, and report no waiver-hygiene noise.
     let mut used_waivers: Vec<(usize, String)> = Vec::new();
 
     for (i, line) in lines.iter().enumerate() {
-        if line.in_test {
-            continue;
-        }
         let mut fire = |rule: &'static str, message: String| {
             if let Some(w) = waiver_for(lines, i, rule) {
                 used_waivers.push(w);
@@ -103,6 +264,21 @@ pub fn apply(rel_path: &str, lines: &[Line]) -> Vec<Diagnostic> {
                 snippet: line.raw.clone(),
             });
         };
+
+        // R7 applies inside `#[cfg(test)]` too (dev-dependencies become
+        // legal there); everything else is exempt in test regions.
+        if let Some(checks) = checks {
+            for import in checks.imports.iter().filter(|im| im.line == line.number) {
+                if let Some(msg) =
+                    workspace::check_import(rel_path, line.in_test, import, checks.manifests)
+                {
+                    fire("layering", msg);
+                }
+            }
+        }
+        if line.in_test {
+            continue;
+        }
         let code = line.code.as_str();
 
         if is_result_affecting(rel_path) {
@@ -113,6 +289,7 @@ pub fn apply(rel_path: &str, lines: &[Line]) -> Vec<Diagnostic> {
         }
         if is_lib(rel_path) {
             check_panic(code, &mut fire);
+            check_error_contract(rel_path, lines, i, &mut fire);
         }
         if !PAR_FILES.contains(&rel_path) {
             check_thread_spawn(code, &mut fire);
@@ -434,6 +611,150 @@ fn check_missing_doc(lines: &[Line], i: usize, fire: &mut impl FnMut(&'static st
         "missing-doc",
         format!("public item `{item}` has no doc comment (R6: every `pub` item in core/nn is documented)"),
     );
+}
+
+// ---------------------------------------------------------------------------
+// R8 — error-contract
+// ---------------------------------------------------------------------------
+
+fn check_error_contract(
+    rel_path: &str,
+    lines: &[Line],
+    i: usize,
+    fire: &mut impl FnMut(&'static str, String),
+) {
+    let trimmed = lines[i].code.trim_start();
+    if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
+        return;
+    }
+    let sig = signature_text(lines, i);
+    let Some(ret) = return_type(&sig) else {
+        return;
+    };
+    if find_word(&ret, "Result").is_none() {
+        return;
+    }
+    if let Some(err) = result_err_type(&ret) {
+        let banned = err == "String"
+            || err.ends_with("::String")
+            || (err.starts_with("Box<") && err.contains("dyn") && err.contains("Error"));
+        if banned {
+            fire(
+                "error-contract",
+                format!(
+                    "`pub fn` returns `Result<_, {err}>`: stringly/boxed errors are \
+                     unmatchable — use a typed error (`LeadError` or a crate-local enum)"
+                ),
+            );
+        }
+    }
+    if is_doc_scope(rel_path) && !has_errors_doc(lines, i) {
+        fire(
+            "error-contract",
+            "`pub fn` returning `Result` has no `# Errors` doc section: every fallible \
+             public API documents its failure modes"
+                .to_string(),
+        );
+    }
+}
+
+/// Concatenates the code of the signature starting at line `i`, up to and
+/// including the line holding the body `{` or the terminating `;`.
+fn signature_text(lines: &[Line], i: usize) -> String {
+    let mut sig = String::new();
+    for line in lines.iter().skip(i).take(32) {
+        sig.push_str(line.code.as_str());
+        sig.push(' ');
+        if line.code.contains('{') || line.code.trim_end().ends_with(';') {
+            break;
+        }
+    }
+    sig
+}
+
+/// Extracts the return type of the first `fn` in `sig`: the text between
+/// the `->` following the parameter list and the body/terminator. `None`
+/// when the fn returns `()` implicitly.
+fn return_type(sig: &str) -> Option<String> {
+    let fn_pos = find_word(sig, "fn")?;
+    let bytes = sig.as_bytes();
+    let open = sig[fn_pos..].find('(')? + fn_pos;
+    let mut depth = 0i32;
+    let mut close = open;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let rest = &sig[close + 1..];
+    let arrow = rest.find("->")?;
+    let after = &rest[arrow + 2..];
+    let end = after
+        .find('{')
+        .or_else(|| find_word(after, "where"))
+        .or_else(|| after.find(';'))
+        .unwrap_or(after.len());
+    Some(after[..end].trim().to_string())
+}
+
+/// The error type of the outermost `Result<T, E>` in a return type, when it
+/// names both parameters (`io::Result<T>` aliases do not).
+fn result_err_type(ret: &str) -> Option<String> {
+    let pos = find_word(ret, "Result")?;
+    let open = ret[pos..].find('<')? + pos;
+    let bytes = ret.as_bytes();
+    let mut depth = 0i32;
+    let mut paren = 0i32;
+    let mut comma = None;
+    let mut close = None;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(k);
+                    break;
+                }
+            }
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren -= 1,
+            b',' if depth == 1 && paren == 0 && comma.is_none() => comma = Some(k),
+            _ => {}
+        }
+    }
+    let (comma, close) = (comma?, close?);
+    Some(ret[comma + 1..close].trim().to_string())
+}
+
+/// Whether the doc block directly above item line `i` (attributes skipped)
+/// contains an `# Errors` section.
+fn has_errors_doc(lines: &[Line], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let above = &lines[j];
+        let t = above.raw.as_str();
+        if t.starts_with("#[") || t.starts_with("#![") || t == ")]" {
+            continue;
+        }
+        if above.is_doc {
+            if above.raw.contains("# Errors") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
 }
 
 // ---------------------------------------------------------------------------

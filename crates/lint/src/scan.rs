@@ -1,11 +1,14 @@
-//! Lexical preprocessing: per-line code/comment separation, string
-//! stripping, `#[cfg(test)]` region tracking, and waiver extraction.
+//! Per-line views over the lossless token stream: code/comment separation,
+//! string stripping, `#[cfg(test)]` region tracking, and waiver extraction.
 //!
-//! The scanner is deliberately not a Rust parser. It understands just enough
-//! of the token grammar — string/char literals (including raw strings),
-//! nested block comments, line comments, brace depth — to hand [`crate::rules`]
-//! a faithful *code-only* view of each line, so that a pattern inside a
-//! string literal or a doc-comment example can never trigger a rule.
+//! The heavy lifting lives in [`crate::lex`]; this module replays the token
+//! stream into the per-line *code-only* view the rule catalog consumes, so a
+//! pattern inside a string literal or a doc-comment example can never
+//! trigger a rule. String literals keep their quotes (`"foo"` becomes `""`),
+//! char literals become `''`, and comments are routed to a separate
+//! per-line comment channel that the waiver parser reads.
+
+use crate::lex::{self, TokenKind};
 
 /// One preprocessed source line.
 #[derive(Debug, Clone)]
@@ -46,23 +49,12 @@ pub struct Waiver {
     pub reason: String,
 }
 
-/// The lexer state that survives across lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Code,
-    /// Inside a (possibly nested) `/* … */` comment; the payload is the
-    /// nesting depth.
-    BlockComment(u32),
-    /// Inside a normal `"…"` string.
-    Str,
-    /// Inside a raw string `r##"…"##`; the payload is the `#` count.
-    RawStr(u32),
-}
-
 /// Splits `source` into preprocessed [`Line`]s.
 pub fn preprocess(source: &str) -> Vec<Line> {
-    let mut out = Vec::new();
-    let mut mode = Mode::Code;
+    let tokens = lex::tokenize(source);
+    let stripped = strip_lines(source, &tokens);
+
+    let mut out = Vec::with_capacity(stripped.len());
     let mut depth: i64 = 0;
     // While `Some(d)`, lines are inside a test region that ends when the
     // brace depth returns to `d`.
@@ -71,10 +63,12 @@ pub fn preprocess(source: &str) -> Vec<Line> {
     // opening brace is still ahead.
     let mut pending_test = false;
 
-    for (idx, raw_line) in source.lines().enumerate() {
-        let (code, comment, next_mode) = strip_line(raw_line, mode);
-        let started_in_code = mode == Mode::Code;
-        mode = next_mode;
+    for (idx, (raw_line, stripped_line)) in source.lines().zip(stripped).enumerate() {
+        let StrippedLine {
+            code,
+            comment,
+            continued,
+        } = stripped_line;
 
         let trimmed_code = code.trim_start();
         if trimmed_code.starts_with("#[cfg(test)") || trimmed_code.starts_with("#[test]") {
@@ -108,7 +102,7 @@ pub fn preprocess(source: &str) -> Vec<Line> {
         }
 
         let raw_trim = raw_line.trim();
-        let is_doc = started_in_code
+        let is_doc = !continued
             && (raw_trim.starts_with("///")
                 || raw_trim.starts_with("//!")
                 || raw_trim.starts_with("/**")
@@ -134,133 +128,117 @@ pub fn preprocess(source: &str) -> Vec<Line> {
     out
 }
 
-/// Strips one raw line given the entry `mode`, returning the code portion,
-/// the comment text, and the mode the next line starts in.
-fn strip_line(line: &str, mut mode: Mode) -> (String, String, Mode) {
-    let bytes = line.as_bytes();
-    let mut code = String::with_capacity(line.len());
-    let mut comment = String::new();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        match mode {
-            Mode::BlockComment(d) => {
-                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    i += 2;
-                    mode = if d <= 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(d - 1)
-                    };
-                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    i += 2;
-                    mode = Mode::BlockComment(d + 1);
-                } else {
-                    comment.push(bytes[i] as char);
-                    i += 1;
+/// The per-line result of replaying the token stream.
+struct StrippedLine {
+    code: String,
+    comment: String,
+    /// True when the line starts inside a multi-line string or block comment
+    /// opened on an earlier line.
+    continued: bool,
+}
+
+/// Replays the token stream into per-line code/comment channels.
+fn strip_lines(source: &str, tokens: &[lex::Token<'_>]) -> Vec<StrippedLine> {
+    let count = source.lines().count();
+    let mut lines: Vec<StrippedLine> = (0..count)
+        .map(|_| StrippedLine {
+            code: String::new(),
+            comment: String::new(),
+            continued: false,
+        })
+        .collect();
+    let push_code = |lines: &mut Vec<StrippedLine>, line: usize, s: &str| {
+        if let Some(l) = lines.get_mut(line - 1) {
+            l.code.push_str(s);
+        }
+    };
+
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::Whitespace => {
+                for (k, seg) in tok.text.split('\n').enumerate() {
+                    push_code(&mut lines, tok.line + k, seg.trim_end_matches('\r'));
                 }
             }
-            Mode::Str => {
-                if bytes[i] == b'\\' {
-                    i += 2; // skip the escaped byte (may run past EOL harmlessly)
-                } else if bytes[i] == b'"' {
-                    code.push('"');
-                    i += 1;
-                    mode = Mode::Code;
-                } else {
-                    i += 1;
-                }
+            TokenKind::Ident | TokenKind::Number | TokenKind::Lifetime | TokenKind::Punct => {
+                push_code(&mut lines, tok.line, tok.text);
             }
-            Mode::RawStr(hashes) => {
-                if bytes[i] == b'"' && has_hashes(bytes, i + 1, hashes) {
-                    i += 1 + hashes as usize;
-                    code.push('"');
-                    mode = Mode::Code;
-                } else {
-                    i += 1;
+            TokenKind::Char => push_code(&mut lines, tok.line, "''"),
+            TokenKind::Str { terminated, .. } => {
+                let newlines = tok.text.matches('\n').count();
+                push_code(&mut lines, tok.line, "\"");
+                if terminated {
+                    push_code(&mut lines, tok.line + newlines, "\"");
                 }
-            }
-            Mode::Code => {
-                let b = bytes[i];
-                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
-                    comment.push_str(&line[i + 2..]);
-                    i = bytes.len();
-                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                    i += 2;
-                    mode = Mode::BlockComment(1);
-                } else if b == b'"' {
-                    code.push('"');
-                    i += 1;
-                    mode = Mode::Str;
-                } else if b == b'r' && !prev_is_ident(&code) && raw_str_hashes(bytes, i).is_some() {
-                    let hashes = raw_str_hashes(bytes, i).unwrap_or(0);
-                    code.push('"');
-                    i += 2 + hashes as usize; // consume `r`, hashes, opening quote
-                    mode = Mode::RawStr(hashes);
-                } else if b == b'\'' {
-                    // Char literal vs. lifetime: a char literal closes with a
-                    // quote within a few bytes; a lifetime does not.
-                    if let Some(len) = char_literal_len(bytes, i) {
-                        code.push('\'');
-                        code.push('\'');
-                        i += len;
-                    } else {
-                        code.push('\'');
-                        i += 1;
+                for k in 1..=newlines {
+                    if let Some(l) = lines.get_mut(tok.line + k - 1) {
+                        l.continued = true;
                     }
-                } else {
-                    code.push(b as char);
-                    i += 1;
+                }
+            }
+            TokenKind::LineComment { .. } => {
+                if let Some(l) = lines.get_mut(tok.line - 1) {
+                    l.comment.push_str(&tok.text[2..]);
+                }
+            }
+            TokenKind::BlockComment { terminated, .. } => {
+                strip_block_comment(&mut lines, tok.line, tok.text, terminated);
+                let newlines = tok.text.matches('\n').count();
+                for k in 1..=newlines {
+                    if let Some(l) = lines.get_mut(tok.line + k - 1) {
+                        l.continued = true;
+                    }
                 }
             }
         }
     }
-    // A string literal never spans lines in this codebase except raw strings
-    // and escaped newlines; treat an unterminated plain string as continuing.
-    (code, comment, mode)
+    lines
 }
 
-fn has_hashes(bytes: &[u8], from: usize, n: u32) -> bool {
-    let n = n as usize;
-    bytes.len() >= from + n && bytes[from..from + n].iter().all(|&b| b == b'#')
-}
-
-/// If `bytes[i..]` starts a raw string (`r"`, `r#"`, `br"`…), returns the
-/// number of `#`s.
-fn raw_str_hashes(bytes: &[u8], i: usize) -> Option<u32> {
-    let mut j = i + 1;
-    let mut hashes = 0u32;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (bytes.get(j) == Some(&b'"')).then_some(hashes)
-}
-
-fn prev_is_ident(code: &str) -> bool {
-    code.bytes()
-        .last()
-        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
-}
-
-/// Length in bytes of a char literal starting at `i` (which holds `'`), or
-/// `None` when this is a lifetime.
-fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
-    match bytes.get(i + 1) {
-        Some(b'\\') => {
-            // Escaped char: find the closing quote within a short window
-            // (covers \n, \', \\, \u{…}, \x7f).
-            let mut j = i + 2;
-            let end = usize::min(bytes.len(), i + 12);
-            while j < end {
-                if bytes[j] == b'\'' {
-                    return Some(j + 1 - i);
-                }
-                j += 1;
+/// Routes a block comment's inner text (delimiters excluded, nested
+/// delimiters too) into the comment channel of each line it spans.
+fn strip_block_comment(
+    lines: &mut [StrippedLine],
+    start_line: usize,
+    text: &str,
+    terminated: bool,
+) {
+    let bytes = text.as_bytes();
+    // Skip the opening `/*`; drop the closing `*/` when present.
+    let end = if terminated {
+        bytes.len() - 2
+    } else {
+        bytes.len()
+    };
+    let mut line = start_line;
+    let mut i = 2;
+    while i < end {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'*') => i += 2,
+            b'*' if bytes.get(i + 1) == Some(&b'/') => i += 2,
+            b'\n' => {
+                line += 1;
+                i += 1;
             }
-            None
+            b'\r' if bytes.get(i + 1) == Some(&b'\n') => i += 1,
+            _ => {
+                // Push whole UTF-8 characters, not bytes.
+                let ch_len = utf8_len(bytes[i]);
+                if let Some(l) = lines.get_mut(line - 1) {
+                    l.comment.push_str(&text[i..usize::min(i + ch_len, end)]);
+                }
+                i += ch_len;
+            }
         }
-        Some(_) if bytes.get(i + 2) == Some(&b'\'') => Some(3),
-        _ => None,
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
     }
 }
 
@@ -332,6 +310,14 @@ mod tests {
     }
 
     #[test]
+    fn multiline_strings_keep_inner_lines_code_free() {
+        let src = "let s = \"one\\\ntwo unwrap()\";\nlet t = 3;\n";
+        let lines = preprocess(src);
+        assert!(!lines[1].code.contains("unwrap"), "{:?}", lines[1].code);
+        assert!(lines[2].code.contains("let t = 3;"));
+    }
+
+    #[test]
     fn cfg_test_regions_cover_nested_braces() {
         let src = "\
 fn real() {}
@@ -365,6 +351,14 @@ fn also_real() {}
         let lines = preprocess("x(); // lint: allow(panic)\n");
         assert_eq!(lines[0].waivers.len(), 1);
         assert!(lines[0].waivers[0].reason.is_empty());
+    }
+
+    #[test]
+    fn waiver_on_final_line_without_trailing_newline_is_seen() {
+        let lines = preprocess("x(); // lint: allow(panic): last line, no newline");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].waivers.len(), 1);
+        assert_eq!(lines[0].waivers[0].rules, vec!["panic"]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+pub(crate) fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|e| e.ok().map(|e| e.path()))

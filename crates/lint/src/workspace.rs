@@ -1,0 +1,420 @@
+//! Cross-file analysis: the workspace dependency graph (R7
+//! `layering`) and the crate classification audit (R9 `scope-drift`).
+//!
+//! Per-file rules see one file at a time; these checks see the workspace as
+//! a whole. The inputs are the parsed manifests ([`crate::manifest`]) and
+//! the `use`/`extern crate` imports extracted from each file's token stream.
+//! Three families of diagnostics come out:
+//!
+//! - **undeclared imports** — a source file names a workspace (or vendored)
+//!   crate its own `Cargo.toml` does not declare;
+//! - **sanctioned-DAG violations** — a manifest edge that is either part of
+//!   a dependency cycle or absent from the crate's allowed-dependency set in
+//!   [`crate::rules::CRATES`] (e.g. nothing but bins may depend on
+//!   `lead-eval`, and `lead-lint` stays dependency-free);
+//! - **scope drift** — a crate missing from the classification table, a
+//!   stale table entry whose crate no longer exists, a manifest whose
+//!   `[package.metadata.lead] class` disagrees with the table, or a stale
+//!   kernel/timing/par path in the scope tables.
+
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+use crate::lex::{self, TokenKind};
+use crate::manifest::Manifest;
+use crate::rules::{self, Class};
+
+/// One `use`/`extern crate` import: the first path segment and its line.
+#[derive(Debug, Clone)]
+pub struct Import {
+    /// The leading path segment (`lead_nn` in `use lead_nn::par::par_map;`).
+    pub root: String,
+    /// 1-based line of the `use`/`extern crate` keyword.
+    pub line: usize,
+}
+
+/// Extracts every import root from `source` by walking the token stream
+/// (so `use` inside strings, comments, or doc examples is never matched).
+pub fn imports(source: &str) -> Vec<Import> {
+    let tokens = lex::tokenize(source);
+    let code: Vec<&lex::Token<'_>> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace
+                    | TokenKind::LineComment { .. }
+                    | TokenKind::BlockComment { .. }
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let root = match tok.text {
+            "use" => {
+                // `use ::foo::…` (absolute) and `use foo::…` both name the
+                // crate in the first identifier.
+                match code.get(i + 1) {
+                    Some(t) if t.kind == TokenKind::Ident => t.text,
+                    Some(t) if t.text == ":" => match code.get(i + 3) {
+                        Some(t2) if t2.kind == TokenKind::Ident => t2.text,
+                        _ => continue,
+                    },
+                    _ => continue,
+                }
+            }
+            "extern" => match (code.get(i + 1), code.get(i + 2)) {
+                (Some(c), Some(name)) if c.text == "crate" && name.kind == TokenKind::Ident => {
+                    name.text
+                }
+                _ => continue,
+            },
+            _ => continue,
+        };
+        out.push(Import {
+            root: root.to_string(),
+            line: tok.line,
+        });
+    }
+    out
+}
+
+/// Path roots that never name a workspace crate.
+const BUILTIN_ROOTS: [&str; 7] = [
+    "std",
+    "core",
+    "alloc",
+    "proc_macro",
+    "test",
+    "crate",
+    "self",
+];
+
+/// Resolves one import against the importing file's manifest. Returns a
+/// violation message, or `None` when the import is fine (declared, builtin,
+/// a local module, or unresolvable because the fixture workspace carries no
+/// manifest for this crate).
+pub fn check_import(
+    rel_path: &str,
+    in_test: bool,
+    import: &Import,
+    manifests: &[Manifest],
+) -> Option<String> {
+    let root = import.root.as_str();
+    if BUILTIN_ROOTS.contains(&root) || root == "super" {
+        return None;
+    }
+    let own = manifest_for(rel_path, manifests)?;
+    let own_pkg = own.package.as_deref().unwrap_or("");
+    if root == own_pkg.replace('-', "_") {
+        return None; // bins importing their own package's lib target
+    }
+    let dashed = root.replace('_', "-");
+    let known = |pkg: &str| manifests.iter().any(|m| m.package.as_deref() == Some(pkg));
+    let pkg = if known(root) {
+        root.to_string()
+    } else if known(&dashed) {
+        dashed
+    } else if root.starts_with("lead_") {
+        return Some(format!(
+            "`use {root}` names no workspace crate — the workspace has no package `{dashed}`"
+        ));
+    } else {
+        return None; // std-adjacent or a local module via uniform paths
+    };
+    if own.declares(&pkg, in_test) {
+        return None;
+    }
+    Some(format!(
+        "`use {root}` without a declared dependency: add `{pkg}` to {} {}",
+        own.rel_path,
+        if in_test {
+            "[dependencies] or [dev-dependencies]"
+        } else {
+            "[dependencies]"
+        },
+    ))
+}
+
+/// The manifest owning `rel_path` (longest matching directory prefix; the
+/// root manifest owns `src/`).
+fn manifest_for<'m>(rel_path: &str, manifests: &'m [Manifest]) -> Option<&'m Manifest> {
+    let mut best: Option<&Manifest> = None;
+    for m in manifests {
+        let owns = if m.rel_dir.is_empty() {
+            rel_path.starts_with("src/")
+        } else {
+            rel_path
+                .strip_prefix(m.rel_dir.as_str())
+                .is_some_and(|r| r.starts_with('/'))
+        };
+        if owns && best.is_none_or(|b| b.rel_dir.len() < m.rel_dir.len()) {
+            best = Some(m);
+        }
+    }
+    best
+}
+
+/// Runs the manifest-level checks: sanctioned-DAG edges, dependency cycles
+/// (R7), and the crate classification audit (R9).
+pub fn workspace_checks(root: &Path, manifests: &[Manifest]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_edges(manifests, &mut diags);
+    check_cycles(manifests, &mut diags);
+    check_classes(manifests, &mut diags);
+    // Stale-path completeness only applies to the real workspace (root
+    // package `lead`): synthetic fixture workspaces are deliberately tiny.
+    let is_real = manifests
+        .iter()
+        .any(|m| m.rel_dir.is_empty() && m.package.as_deref() == Some("lead"));
+    if is_real {
+        check_completeness(root, manifests, &mut diags);
+    }
+    diags
+}
+
+fn workspace_package<'m>(manifests: &'m [Manifest], pkg: &str) -> Option<&'m Manifest> {
+    manifests
+        .iter()
+        .find(|m| !m.vendored && m.package.as_deref() == Some(pkg))
+}
+
+/// R7: every lib-class crate's workspace dependencies must be in its
+/// sanctioned set; tool-class crates stay dependency-free.
+fn check_edges(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    for m in manifests.iter().filter(|m| !m.vendored) {
+        let Some(pkg) = m.package.as_deref() else {
+            continue;
+        };
+        let Some(info) = rules::crate_info_by_dir(&m.rel_dir) else {
+            continue; // fixture crates: classified by metadata only, no table
+        };
+        for dep in m.deps.iter().filter(|d| !d.dev) {
+            if workspace_package(manifests, &dep.name).is_none() {
+                continue; // vendored shim or external — not a layering edge
+            }
+            let sanctioned = match info.class {
+                Class::Bin => true,
+                Class::Tool => false,
+                Class::Lib | Class::ResultLib => info.allowed.contains(&dep.name.as_str()),
+            };
+            if !sanctioned {
+                let hint = match info.class {
+                    Class::Tool => "the lint gate stays dependency-free".to_string(),
+                    _ if info.allowed.is_empty() => format!("`{pkg}` is a leaf crate"),
+                    _ => format!("sanctioned deps: {}", info.allowed.join(", ")),
+                };
+                diags.push(Diagnostic {
+                    file: m.rel_path.clone(),
+                    line: dep.line,
+                    rule: "layering",
+                    message: format!(
+                        "`{pkg}` may not depend on `{}` — {hint} (see the sanctioned \
+                         DAG in DESIGN.md §10)",
+                        dep.name
+                    ),
+                    snippet: format!("{} -> {}", pkg, dep.name),
+                });
+            }
+        }
+    }
+}
+
+/// R7: the workspace dependency graph must stay acyclic.
+fn check_cycles(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    let mut pkgs: Vec<&str> = manifests
+        .iter()
+        .filter(|m| !m.vendored)
+        .filter_map(|m| m.package.as_deref())
+        .collect();
+    pkgs.sort_unstable();
+    for &start in &pkgs {
+        // Report each cycle once, at its lexicographically smallest member.
+        if let Some(cycle) = find_cycle(manifests, start) {
+            if cycle.iter().any(|p| p.as_str() < start) {
+                continue;
+            }
+            let m = workspace_package(manifests, start);
+            let (file, line) = m
+                .and_then(|m| {
+                    m.deps
+                        .iter()
+                        .find(|d| !d.dev && Some(&d.name) == cycle.get(1))
+                        .map(|d| (m.rel_path.clone(), d.line))
+                })
+                .unwrap_or_else(|| ("Cargo.toml".to_string(), 1));
+            diags.push(Diagnostic {
+                file,
+                line,
+                rule: "layering",
+                message: format!(
+                    "dependency cycle in the workspace graph: {}",
+                    cycle.join(" -> ")
+                ),
+                snippet: cycle.join(" -> "),
+            });
+        }
+    }
+}
+
+/// Depth-first search for a cycle through `start`; returns the cycle path
+/// (`start -> … -> start`) when one exists.
+fn find_cycle(manifests: &[Manifest], start: &str) -> Option<Vec<String>> {
+    let mut path = vec![start.to_string()];
+    dfs(manifests, start, start, &mut path).then_some(path)
+}
+
+fn dfs(manifests: &[Manifest], start: &str, at: &str, path: &mut Vec<String>) -> bool {
+    let Some(m) = workspace_package(manifests, at) else {
+        return false;
+    };
+    let mut nexts: Vec<&str> = m
+        .deps
+        .iter()
+        .filter(|d| !d.dev)
+        .map(|d| d.name.as_str())
+        .filter(|n| workspace_package(manifests, n).is_some())
+        .collect();
+    nexts.sort_unstable();
+    nexts.dedup();
+    for next in nexts {
+        if next == start {
+            path.push(start.to_string());
+            return true;
+        }
+        if path.iter().any(|p| p == next) {
+            continue; // a cycle not through `start`; found from its own start
+        }
+        path.push(next.to_string());
+        if dfs(manifests, start, next, path) {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// R9: every crate is classified, and manifest metadata agrees with the
+/// classification table.
+fn check_classes(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    let valid: Vec<&str> = Class::ALL.iter().map(|c| c.as_str()).collect();
+    for m in manifests.iter().filter(|m| !m.vendored) {
+        if m.package.is_none() {
+            continue; // virtual workspace root (fixtures)
+        }
+        let table = rules::crate_info_by_dir(&m.rel_dir);
+        match (&table, &m.lead_class) {
+            (None, None) => diags.push(drift(
+                m,
+                1,
+                format!(
+                    "crate `{}` is unclassified: declare `[package.metadata.lead] class` \
+                     and add it to the scope tables (rules::CRATES)",
+                    m.rel_dir
+                ),
+            )),
+            (Some(info), None) => diags.push(drift(
+                m,
+                1,
+                format!(
+                    "missing `[package.metadata.lead]`: declare `class = \"{}\"` to match \
+                     the scope tables",
+                    info.class.as_str()
+                ),
+            )),
+            (Some(info), Some((class, line))) if class != info.class.as_str() => diags.push(drift(
+                m,
+                *line,
+                format!(
+                    "declared class `{class}` disagrees with the scope tables \
+                     (rules::CRATES says `{}`)",
+                    info.class.as_str()
+                ),
+            )),
+            (None, Some((class, line))) if !valid.contains(&class.as_str()) => diags.push(drift(
+                m,
+                *line,
+                format!(
+                    "unknown crate class `{class}` (valid: {})",
+                    valid.join(", ")
+                ),
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn drift(m: &Manifest, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        file: m.rel_path.clone(),
+        line,
+        rule: "scope-drift",
+        message,
+        snippet: m.rel_dir.clone(),
+    }
+}
+
+/// R9 (real workspace only): classification-table entries and scope-table
+/// paths must still exist on disk, so the tables cannot rot.
+fn check_completeness(root: &Path, manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    let root_drift = |message: String| Diagnostic {
+        file: "Cargo.toml".to_string(),
+        line: 1,
+        rule: "scope-drift",
+        message,
+        snippet: "[workspace]".to_string(),
+    };
+    for info in rules::CRATES.iter().filter(|c| !c.dir.is_empty()) {
+        if !manifests.iter().any(|m| m.rel_dir == info.dir) {
+            diags.push(root_drift(format!(
+                "scope-table entry `{}` (`{}`) has no crate on disk — remove it from \
+                 rules::CRATES",
+                info.dir, info.package
+            )));
+        }
+    }
+    for path in rules::scope_paths() {
+        let full = root.join(path.trim_end_matches('/'));
+        let ok = if path.ends_with('/') {
+            full.is_dir()
+        } else {
+            full.is_file()
+        };
+        if !ok {
+            diags.push(root_drift(format!(
+                "scope-table path `{path}` no longer exists — update the kernel/timing/par \
+                 tables in rules.rs"
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imports_come_from_the_token_stream_only() {
+        let src = "\
+use lead_nn::par;
+// use lead_fake::nope;
+/// use lead_doc::nope;
+let s = \"use lead_str::nope;\";
+pub use lead_geo::Point;
+extern crate rand;
+";
+        let got = imports(src);
+        let roots: Vec<(&str, usize)> = got.iter().map(|i| (i.root.as_str(), i.line)).collect();
+        assert_eq!(roots, vec![("lead_nn", 1), ("lead_geo", 5), ("rand", 6)]);
+    }
+
+    #[test]
+    fn absolute_paths_resolve_to_their_crate() {
+        let got = imports("use ::std::fmt;\nuse crate::diag;\n");
+        assert_eq!(got[0].root, "std");
+        assert_eq!(got[1].root, "crate");
+    }
+}

@@ -47,6 +47,9 @@ impl From<std::io::Error> for ReadError {
 }
 
 /// Writes every parameter of `params` to `w`.
+///
+/// # Errors
+/// Propagates any I/O error from the underlying writer.
 pub fn write_params<W: Write>(params: &ParamSet, w: &mut W) -> std::io::Result<()> {
     writeln!(w, "leadnn-params v1")?;
     for (id, value) in params.iter() {
@@ -75,6 +78,11 @@ pub fn write_params<W: Write>(params: &ParamSet, w: &mut W) -> std::io::Result<(
 /// The receiving set must already contain every parameter in the stream with
 /// the same name and shape (build the model architecture first, then load);
 /// extra parameters in the set are an error, as are missing ones.
+///
+/// # Errors
+/// Returns [`ReadError::Io`] when the reader fails and
+/// [`ReadError::Format`] when the stream does not match the receiving set
+/// (bad header, unknown or missing parameters, or shape mismatches).
 pub fn read_params<R: BufRead>(params: &mut ParamSet, r: &mut R) -> Result<(), ReadError> {
     let mut lines = r.lines();
     let header = lines

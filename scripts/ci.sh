@@ -16,11 +16,19 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+# Lint fixtures are deliberately unformatted test inputs, so they are
+# excluded (rustfmt's `ignore` config is nightly-only; exclusion happens in
+# the file list instead).
+echo "==> rustfmt --check (crates/lint/fixtures excluded)"
+git ls-files '*.rs' ':!:crates/lint/fixtures/*' | xargs rustfmt --check --edition 2021
 
-echo "==> cargo run -p lead-lint --release"
-cargo run -q -p lead-lint --release
+echo "==> cargo run -p lead-lint --release (baseline ratchet, JSON report)"
+mkdir -p results
+if ! cargo run -q -p lead-lint --release -- --format json --baseline lint.baseline > results/lint.json; then
+    cat results/lint.json
+    echo "lead-lint gate failed (see results/lint.json)"
+    exit 1
+fi
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
