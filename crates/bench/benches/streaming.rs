@@ -1,0 +1,48 @@
+//! Benchmarks of the incremental stay-point extractor against the batch
+//! extractor it mirrors, on the adversarial shape for streaming: one long
+//! dwell, where every appended fix lands inside the open stay window and a
+//! naive extractor rescans the whole buffered suffix per point (O(n²)).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lead_core::config::LeadConfig;
+use lead_core::processing::extract_stay_points;
+use lead_core::streaming::IncrementalStayExtractor;
+use lead_geo::{GpsPoint, Trajectory};
+
+/// A single dwell: the truck parks and its GPS wobbles a few metres.
+fn long_dwell(points: usize) -> Vec<GpsPoint> {
+    (0..points)
+        .map(|i| {
+            let wobble = (i % 7) as f64 * 2.0e-6;
+            GpsPoint::new(32.0 + wobble, 120.9, i as i64 * 15)
+        })
+        .collect()
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let cfg = LeadConfig::paper();
+
+    let mut g = c.benchmark_group("streaming_long_dwell");
+    for n in [500usize, 2_000, 5_000] {
+        let dwell = long_dwell(n);
+
+        g.bench_with_input(BenchmarkId::new("incremental", n), &dwell, |b, dwell| {
+            b.iter(|| {
+                let mut ex = IncrementalStayExtractor::new(cfg.d_max_m, cfg.t_min_s);
+                for i in 0..dwell.len() {
+                    black_box(ex.on_point_appended(&dwell[..=i]));
+                }
+                black_box(ex.finish(dwell));
+            })
+        });
+
+        let trajectory = Trajectory::new(dwell.clone());
+        g.bench_with_input(BenchmarkId::new("batch", n), &trajectory, |b, tr| {
+            b.iter(|| black_box(extract_stay_points(tr, cfg.d_max_m, cfg.t_min_s as f64)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

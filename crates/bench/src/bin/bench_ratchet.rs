@@ -1,0 +1,315 @@
+//! The perf-ratchet gate: runs the calibrated bench suite over a fixed
+//! synthetic fleet and compares medians against the checked-in
+//! `bench.baseline` (DESIGN.md §12).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_ratchet [--write PATH] [--baseline PATH] [--update-baseline PATH] [--self-test]
+//! ```
+//!
+//! - `--write PATH` — run the suite and write the canonical
+//!   `bench-ratchet/v1` JSON (CI writes `results/BENCH_6.json`).
+//! - `--baseline PATH` — compare the run against a baseline file; exit 1
+//!   when any fingerprint-matched bench exceeds the headroom ratio. Stale
+//!   and new entries are reported but do not fail the gate.
+//! - `--update-baseline PATH` — run the suite and (re)write the baseline.
+//! - `--self-test` — no benches: verify on synthetic records that the
+//!   ratchet detects a regression, flags stale fingerprints, and round-trips
+//!   its serialisation. Exits non-zero if the ratchet machinery itself is
+//!   broken.
+//!
+//! Environment: `BENCH_RATCHET_SAMPLE_MS` (per-bench budget, default 150),
+//! `BENCH_RATCHET_MAX_RATIO` (headroom, default 3.0 — generous because CI
+//! machines vary; the ratchet exists to catch order-of-magnitude
+//! regressions like an O(n) path going O(n²), not 10 % noise).
+
+use lead_bench::ratchet::{
+    compare, fingerprint, measure, parse_json, render_json, BenchRecord, SCHEMA,
+};
+use lead_core::config::LeadConfig;
+use lead_core::detection::{build_groups, GroupDetector};
+use lead_core::encoding::{Autoencoder, EncoderKind};
+use lead_core::features::{TrajectoryFeatures, FEATURE_DIM};
+use lead_core::processing::{enumerate_candidates, ProcessedTrajectory};
+use lead_core::streaming::IncrementalStayExtractor;
+use lead_geo::GpsPoint;
+use lead_nn::Matrix;
+use lead_synth::{generate_dataset, SynthConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs the calibrated suite: processing, encoding, detection, streaming.
+fn run_suite(sample_ms: u64) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    let mut push = |name: &str, fp_desc: String, median_iters: (u64, u64)| {
+        println!(
+            "[bench] {name:<40} median {:>12} ns over {} iters",
+            median_iters.0, median_iters.1
+        );
+        records.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median_iters.0,
+            iters: median_iters.1,
+            fingerprint: fingerprint(&fp_desc),
+        });
+    };
+
+    // ---- fixed fleet -------------------------------------------------------
+    let mut synth = SynthConfig::tiny();
+    synth.num_trucks = 12;
+    synth.days_per_truck = 2;
+    let cfg = LeadConfig::paper();
+    let ds = generate_dataset(&synth);
+    let raws: Vec<_> = ds
+        .train
+        .iter()
+        .chain(&ds.val)
+        .chain(&ds.test)
+        .map(|s| s.raw.clone())
+        .collect();
+
+    // ---- processing: noise filter + stay extraction + candidates ----------
+    push(
+        "processing/pipeline_24_days",
+        format!(
+            "seed={} trucks={} days={} d_max={} t_min={}",
+            synth.seed, synth.num_trucks, synth.days_per_truck, cfg.d_max_m, cfg.t_min_s
+        ),
+        measure(sample_ms, || {
+            for raw in &raws {
+                std::hint::black_box(ProcessedTrajectory::from_raw(raw, &cfg));
+            }
+        }),
+    );
+
+    // ---- encoding: shared-phase-1 cache over all 28 candidates of n=8 ------
+    let mut rng = StdRng::seed_from_u64(9);
+    let hier = Autoencoder::new(&cfg, EncoderKind::Hierarchical, true, &mut rng);
+    let mk = |rows: usize, salt: usize| {
+        Matrix::from_fn(rows, FEATURE_DIM, |r, c| {
+            (((salt * 31 + r * 7 + c) as f32) * 0.13).sin() * 0.5
+        })
+    };
+    let tf = TrajectoryFeatures {
+        sp_seqs: (0..8).map(|k| mk(10, k)).collect(),
+        mp_seqs: (0..7).map(|k| mk(14, 100 + k)).collect(),
+    };
+    let cands = enumerate_candidates(8);
+    push(
+        "encoding/encode_all_28_candidates",
+        format!(
+            "n=8 len_sp=10 len_mp=14 dim={FEATURE_DIM} cands={} rng=9",
+            cands.len()
+        ),
+        measure(sample_ms, || {
+            std::hint::black_box(hier.encode_all(&tf, &cands, 1));
+        }),
+    );
+
+    // ---- detection: grouped stacked-BiLSTM inference at n=14 ---------------
+    let dim = cfg.c_vec_dim();
+    let mut rng = StdRng::seed_from_u64(21);
+    let det = GroupDetector::new(&cfg, dim, &mut rng);
+    let groups = build_groups(14);
+    let cvecs: Vec<Vec<Matrix>> = groups
+        .forward
+        .iter()
+        .map(|sub| {
+            sub.iter()
+                .map(|cand| {
+                    Matrix::from_fn(1, dim, |_, k| {
+                        ((((cand.start_sp * 31 + cand.end_sp) * 13 + k) as f32) * 0.21).sin() * 0.5
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    push(
+        "detection/stacked_bilstm_n14",
+        format!("n=14 dim={dim} rng=21"),
+        measure(sample_ms, || {
+            let refs: Vec<Vec<&Matrix>> = cvecs.iter().map(|s| s.iter().collect()).collect();
+            std::hint::black_box(det.probabilities(&refs));
+        }),
+    );
+
+    // ---- streaming: incremental extraction through a 5,000-point dwell -----
+    // The workload that regressed to O(n²) once: a long dwell keeps the
+    // anchor fixed while points pile up, so any per-point rescan of the
+    // buffered suffix explodes quadratically.
+    let dwell: Vec<GpsPoint> = (0..5_000)
+        .map(|i| {
+            let wobble = f64::from(i % 7) * 2.0e-6;
+            GpsPoint::new(32.0 + wobble, 120.9, i64::from(i) * 15)
+        })
+        .collect();
+    push(
+        "streaming/long_dwell_5000_points",
+        format!(
+            "points=5000 interval=15 d_max={} t_min={}",
+            cfg.d_max_m, cfg.t_min_s
+        ),
+        measure(sample_ms, || {
+            let mut ex = IncrementalStayExtractor::new(cfg.d_max_m, cfg.t_min_s);
+            for i in 0..dwell.len() {
+                std::hint::black_box(ex.on_point_appended(&dwell[..=i]));
+            }
+            std::hint::black_box(ex.finish(&dwell));
+        }),
+    );
+
+    records
+}
+
+/// Verifies the ratchet machinery on synthetic records: a regression is
+/// caught, a changed fingerprint goes stale instead of regressing, new and
+/// removed benches are reported, and the serialisation round-trips.
+fn self_test(max_ratio: f64) -> Result<(), String> {
+    let rec = |name: &str, median_ns: u64, fp: &str| BenchRecord {
+        name: name.to_string(),
+        median_ns,
+        iters: 20,
+        fingerprint: fp.to_string(),
+    };
+    let baseline = vec![
+        rec("a/slow_path", 1_000_000, "fp-a"),
+        rec("b/stable", 500_000, "fp-b"),
+        rec("c/reworked", 400_000, "fp-c-old"),
+        rec("d/removed", 300_000, "fp-d"),
+    ];
+    // `a` regresses far beyond the ratio, `b` drifts but stays inside it,
+    // `c` changed workload (fingerprint), `e` is new, `d` disappeared.
+    let current = vec![
+        rec(
+            "a/slow_path",
+            (1_000_000.0 * max_ratio * 4.0) as u64,
+            "fp-a",
+        ),
+        rec("b/stable", (500_000.0 * max_ratio * 0.9) as u64, "fp-b"),
+        rec("c/reworked", 40_000_000, "fp-c-new"),
+        rec("e/brand_new", 100_000, "fp-e"),
+    ];
+
+    let report = compare(&current, &baseline, max_ratio);
+    if report.passed() {
+        return Err("synthetic regression was NOT detected".into());
+    }
+    if report.regressions.len() != 1 || report.regressions[0].name != "a/slow_path" {
+        return Err(format!(
+            "expected exactly the a/slow_path regression, got {:?}",
+            report.regressions
+        ));
+    }
+    let mut stale = report.stale.clone();
+    stale.sort();
+    if stale != ["c/reworked", "d/removed"] {
+        return Err(format!("wrong stale set: {stale:?}"));
+    }
+    if report.missing_baseline != ["e/brand_new"] {
+        return Err(format!("wrong new set: {:?}", report.missing_baseline));
+    }
+
+    // Round-trip: parse(render(x)) == x, and rendering is order-insensitive.
+    let rendered = render_json(&baseline);
+    let reparsed = parse_json(&rendered).map_err(|e| format!("round-trip parse failed: {e}"))?;
+    let mut sorted_baseline = baseline.clone();
+    sorted_baseline.sort_by(|a, b| a.name.cmp(&b.name));
+    if reparsed != sorted_baseline {
+        return Err("round-trip changed the records".into());
+    }
+    let mut shuffled = baseline;
+    shuffled.reverse();
+    if render_json(&shuffled) != rendered {
+        return Err("rendering is input-order dependent".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let sample_ms = env_u64("BENCH_RATCHET_SAMPLE_MS", 150);
+    let max_ratio = env_f64("BENCH_RATCHET_MAX_RATIO", 3.0);
+
+    if args.iter().any(|a| a == "--self-test") {
+        return match self_test(max_ratio) {
+            Ok(()) => {
+                println!("ratchet self-test passed (synthetic regression detected)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ratchet self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let write_path = flag_value("--write");
+    let baseline_path = flag_value("--baseline");
+    let update_path = flag_value("--update-baseline");
+    if write_path.is_none() && baseline_path.is_none() && update_path.is_none() {
+        eprintln!(
+            "usage: bench_ratchet [--write PATH] [--baseline PATH] [--update-baseline PATH] [--self-test]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!("{SCHEMA}: sample budget {sample_ms} ms/bench, headroom {max_ratio:.2}x");
+    let records = run_suite(sample_ms);
+    let rendered = render_json(&records);
+
+    for path in [&write_path, &update_path].into_iter().flatten() {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create output directory");
+            }
+        }
+        std::fs::write(path, &rendered).expect("write bench results");
+        println!("[written] {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline_raw = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_json(&baseline_raw) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot parse baseline `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let report = compare(&records, &baseline, max_ratio);
+        print!("{}", report.render(max_ratio));
+        if !report.passed() {
+            eprintln!("bench-ratchet gate FAILED");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,10 @@
 //! | everything                        | `run_all` |
 //! | the L = 1..10 layer tuning claim  | `sweep_layers` |
 //!
+//! Beyond the paper, `scenarios` reports per-scenario robustness (accuracy
+//! and IoU under each named GPS pathology of `lead_synth::scenario`), and
+//! `bench_ratchet` runs the calibrated perf suite against `bench.baseline`.
+//!
 //! Two diagnostic binaries support development: `calibrate` (stage-by-stage
 //! wall-clock on the current machine) and `probe` (loss curves and
 //! detected-vs-truth dumps at an arbitrary scale).
@@ -22,6 +26,8 @@
 use lead_core::config::LeadConfig;
 use lead_synth::SynthConfig;
 use std::path::PathBuf;
+
+pub mod ratchet;
 
 /// Experiment scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

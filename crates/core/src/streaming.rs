@@ -35,6 +35,9 @@ pub struct IncrementalStayExtractor {
     d_max_m: f64,
     t_min_s: i64,
     anchor: usize,
+    /// Number of anchor-distance evaluations performed so far. Exposed via
+    /// [`Self::distance_evals`] so tests can pin the amortized-O(1) contract.
+    distance_evals: u64,
 }
 
 impl IncrementalStayExtractor {
@@ -45,12 +48,30 @@ impl IncrementalStayExtractor {
             d_max_m,
             t_min_s,
             anchor: 0,
+            distance_evals: 0,
         }
     }
 
     /// The current open-run anchor index.
     pub fn anchor(&self) -> usize {
         self.anchor
+    }
+
+    /// Total anchor-distance evaluations since construction.
+    ///
+    /// The per-point cost contract: while a run stays open only the newly
+    /// appended point is checked against the anchor (one evaluation), and a
+    /// full rescan happens only after re-anchoring — so a stream of `n`
+    /// points whose anchor advances `a` times costs `O(n + Σ rescan)` ≤
+    /// `O(n·a)` total, not the `O(n²)` of rescanning every open run on every
+    /// push. Pinned by a regression test on a single long dwell.
+    pub fn distance_evals(&self) -> u64 {
+        self.distance_evals
+    }
+
+    fn within(&mut self, points: &[GpsPoint], anchor: usize, j: usize) -> bool {
+        self.distance_evals += 1;
+        points[anchor].distance_m(&points[j]) <= self.d_max_m
     }
 
     /// Called after one point was appended to `points`; returns every stay
@@ -60,21 +81,40 @@ impl IncrementalStayExtractor {
     /// an emission can reveal a second qualifying run inside the buffered
     /// history (two dwell clusters both within `D_max` of the old anchor yet
     /// apart from each other), so all completions are returned in order.
+    ///
+    /// Cost: amortized O(1) while the run stays open — the open-run
+    /// invariant (every buffered point after the anchor is within `D_max`
+    /// of it) already holds for all but the new point, so only the new point
+    /// is checked; the full anchor walk reruns only after a run breaks.
     pub fn on_point_appended(&mut self, points: &[GpsPoint]) -> Vec<StayPoint> {
+        let end = points.len() - 1;
+        if self.anchor >= end {
+            return Vec::new();
+        }
+        // Fast path: the invariant covers points (anchor, end); the newly
+        // appended point either keeps the run open (nothing to do) or is the
+        // first break — the slow anchor walk below then starts at a state
+        // where `end` is known to be the first break of the current anchor.
+        if self.within(points, self.anchor, end) {
+            return Vec::new();
+        }
         let mut emitted = Vec::new();
+        let mut first_break = Some(end);
         loop {
             let end = points.len() - 1;
             if self.anchor >= end {
                 break;
             }
-            // First point after the anchor that breaks the run.
-            let mut brk = None;
-            for j in (self.anchor + 1)..=end {
-                if points[self.anchor].distance_m(&points[j]) > self.d_max_m {
-                    brk = Some(j);
-                    break;
+            // First point after the anchor that breaks the run: known from
+            // the fast path on the first iteration, rescanned after every
+            // re-anchoring.
+            let brk = match first_break.take() {
+                Some(j) => Some(j),
+                None => {
+                    let anchor = self.anchor;
+                    ((anchor + 1)..=end).find(|&j| !self.within(points, anchor, j))
                 }
-            }
+            };
             let Some(j) = brk else {
                 break; // run still open at buffer end
             };
@@ -312,6 +352,60 @@ mod tests {
             s
         };
         assert_eq!(batch, snapshot);
+    }
+
+    #[test]
+    fn long_dwell_costs_amortized_constant_distance_evals_per_point() {
+        // A single 5,000-point dwell: the pre-fix extractor rescanned the
+        // whole open run from the anchor on every append — ~n²/2 ≈ 12.5 M
+        // distance evaluations. The amortized extractor checks only the new
+        // point while the run stays open, so the total stays linear.
+        let n: usize = 5_000;
+        let mut ex = IncrementalStayExtractor::new(500.0, 900);
+        let mut buffer = Vec::new();
+        for i in 0..n {
+            buffer.push(GpsPoint::new(32.0, 120.9, i as i64 * 10));
+            let emitted = ex.on_point_appended(&buffer);
+            assert!(emitted.is_empty(), "dwell must stay open");
+        }
+        let evals = ex.distance_evals();
+        assert!(
+            evals <= 2 * n as u64,
+            "expected O(n) distance evals for an open run, got {evals} for n={n}"
+        );
+        // The trailing dwell still closes into one batch-identical stay.
+        let stay = ex.finish(&buffer).expect("qualifying trailing dwell");
+        assert_eq!((stay.start, stay.end), (0, n - 1));
+    }
+
+    #[test]
+    fn rescan_after_reanchoring_still_emits_interior_stays() {
+        // dwell A (45 min) → 200 m hop → dwell B (45 min) → far jump.
+        // Closing A re-anchors inside history; the rescan must then find B
+        // intact and emit it when the far jump arrives.
+        let per_km = meters_to_lng_deg(1_000.0, 32.0);
+        let mut pts = Vec::new();
+        let mut t = 0;
+        for _ in 0..30 {
+            pts.push(GpsPoint::new(32.0, 120.9, t));
+            t += 90;
+        }
+        for _ in 0..30 {
+            pts.push(GpsPoint::new(32.0, 120.9 + 0.7 * per_km, t));
+            t += 90;
+        }
+        pts.push(GpsPoint::new(32.0, 120.9 + 6.0 * per_km, t));
+
+        let mut ex = IncrementalStayExtractor::new(500.0, 900);
+        let mut buffer = Vec::new();
+        let mut streamed = Vec::new();
+        for &p in &pts {
+            buffer.push(p);
+            streamed.extend(ex.on_point_appended(&buffer));
+        }
+        let batch = extract_stay_points(&Trajectory::new(pts), 500.0, 900.0);
+        assert_eq!(batch.len(), 2, "two dwells expected");
+        assert_eq!(streamed, batch);
     }
 
     #[test]

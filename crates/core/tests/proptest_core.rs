@@ -25,6 +25,46 @@ fn trajectory() -> impl Strategy<Value = Trajectory> {
     })
 }
 
+/// Trajectories built from the scenario suite's pathological segments:
+/// `0` = a dwell (metre-scale wobble at second-scale intervals, the shape
+/// that makes a naive incremental extractor quadratic), `1` = a tunnel-style
+/// dropout (multi-minute silence), `2` = a sparse cruise (up to 120 s
+/// between fixes, kilometres apart).
+fn pathological_trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0u8..3, 2usize..40), 1..8).prop_map(|segments| {
+        let mut t = 0i64;
+        let (mut lat, mut lng) = (32.0f64, 120.9f64);
+        let mut pts = Vec::new();
+        for (i, (kind, len)) in segments.into_iter().enumerate() {
+            match kind {
+                0 => {
+                    for k in 0..len * 8 {
+                        t += 15;
+                        pts.push(GpsPoint::new(lat + (k % 7) as f64 * 2.0e-6, lng, t));
+                    }
+                }
+                1 => {
+                    t += 300 + (i as i64 * 97) % 1200;
+                    pts.push(GpsPoint::new(lat, lng, t));
+                }
+                _ => {
+                    for k in 0..len {
+                        t += 5 + ((i + k) as i64 * 31) % 116;
+                        lat += 2.0e-3;
+                        lng += 1.5e-3;
+                        pts.push(GpsPoint::new(lat, lng, t));
+                    }
+                }
+            }
+            lat += 1.0e-3;
+        }
+        if pts.is_empty() {
+            pts.push(GpsPoint::new(lat, lng, 1));
+        }
+        Trajectory::new(pts)
+    })
+}
+
 proptest! {
     #[test]
     fn noise_filter_output_is_subsequence_and_speed_bounded(tr in trajectory()) {
@@ -141,6 +181,30 @@ proptest! {
             .unwrap()
             .0;
         prop_assert_eq!(am_raw, am_merged);
+    }
+
+    /// Like [`incremental_extraction_matches_batch`] but over the GPS
+    /// pathology shapes of the scenario suite: long dwells (the extractor's
+    /// adversarial case), tunnel-style dropout gaps, and sparse sampling
+    /// rates, interleaved at random.
+    #[test]
+    fn incremental_extraction_matches_batch_on_pathological_shapes(
+        tr in pathological_trajectory(),
+    ) {
+        use lead_core::streaming::IncrementalStayExtractor;
+        let d_max = 500.0;
+        let t_min = 900i64;
+        let batch = extract_stay_points(&tr, d_max, t_min as f64);
+
+        let mut ex = IncrementalStayExtractor::new(d_max, t_min);
+        let mut buffer = Vec::new();
+        let mut streamed = Vec::new();
+        for &p in tr.points() {
+            buffer.push(p);
+            streamed.extend(ex.on_point_appended(&buffer));
+        }
+        streamed.extend(ex.finish(&buffer));
+        prop_assert_eq!(streamed, batch);
     }
 
     #[test]

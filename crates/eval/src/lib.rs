@@ -7,6 +7,8 @@
 //! - [`timing`] — per-bucket mean inference time;
 //! - [`runner`] — trains any method on a [`lead_synth::Dataset`] and
 //!   evaluates it on the test split;
+//! - [`scenarios`] — per-scenario robustness rows (accuracy and IoU under
+//!   each named GPS pathology, never averaged away);
 //! - [`errors`] — endpoint-level error decomposition of detections;
 //! - [`svg`] — SVG map rendering of trajectories and detections;
 //! - [`report`] — paper-style text tables and CSV emission.
@@ -19,11 +21,13 @@ pub mod errors;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod svg;
 pub mod timing;
 
 pub use buckets::Bucket;
 pub use errors::{DetectionOutcome, ErrorBreakdown};
-pub use metrics::BucketAccuracy;
-pub use runner::{train_and_evaluate, EvalOutcome, Method};
+pub use metrics::{BucketAccuracy, IntervalError};
+pub use runner::{train_and_evaluate, EvalOutcome, Method, SweepStats, TrainedModel};
+pub use scenarios::{evaluate_scenarios, ScenarioOutcome};
 pub use timing::BucketTiming;

@@ -1,6 +1,45 @@
 //! The detection-accuracy metric `Acc` (Equation (14)), per bucket.
 
 use crate::buckets::Bucket;
+use std::fmt;
+
+/// A malformed time interval handed to [`interval_iou`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalError {
+    /// The detected interval ends before it starts.
+    ReversedDetected {
+        /// The offending `(start_s, end_s)` pair.
+        interval: (i64, i64),
+    },
+    /// The ground-truth interval ends before it starts.
+    ReversedTruth {
+        /// The offending `(start_s, end_s)` pair.
+        interval: (i64, i64),
+    },
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::ReversedDetected { interval } => {
+                write!(
+                    f,
+                    "reversed detected interval ({}, {})",
+                    interval.0, interval.1
+                )
+            }
+            IntervalError::ReversedTruth { interval } => {
+                write!(
+                    f,
+                    "reversed ground-truth interval ({}, {})",
+                    interval.0, interval.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {}
 
 /// Hit/total counters per stay-point bucket plus overall.
 #[derive(Debug, Clone, Default)]
@@ -61,16 +100,30 @@ impl BucketAccuracy {
 /// cover 90 %+ of the true loaded time span, which matters for downstream
 /// uses like compliance auditing.
 ///
-/// Returns a value in `[0, 1]`; 1 iff the intervals coincide.
+/// Returns a value in `[0, 1]`; 1 iff the (non-degenerate) intervals
+/// coincide. A degenerate-but-ordered interval — a single-timestamp
+/// detection or truth span, `start == end` — scores `0.0`: it covers no
+/// time, so its overlap with anything is empty. This keeps a pathological
+/// one-point detection from aborting a whole evaluation sweep (the R2
+/// panic-freedom contract for library crates).
 ///
-/// # Panics
-/// Panics if either interval is empty or reversed.
-pub fn interval_iou(detected: (i64, i64), truth: (i64, i64)) -> f64 {
-    assert!(detected.0 < detected.1, "empty detected interval");
-    assert!(truth.0 < truth.1, "empty truth interval");
+/// # Errors
+/// Returns [`IntervalError`] when either interval is reversed
+/// (`start > end`) — that is a caller bug, not a degenerate detection, and
+/// silently scoring it would mask it.
+pub fn interval_iou(detected: (i64, i64), truth: (i64, i64)) -> Result<f64, IntervalError> {
+    if detected.0 > detected.1 {
+        return Err(IntervalError::ReversedDetected { interval: detected });
+    }
+    if truth.0 > truth.1 {
+        return Err(IntervalError::ReversedTruth { interval: truth });
+    }
+    if detected.0 == detected.1 || truth.0 == truth.1 {
+        return Ok(0.0);
+    }
     let inter = (detected.1.min(truth.1) - detected.0.max(truth.0)).max(0);
     let union = (detected.1.max(truth.1) - detected.0.min(truth.0)).max(1);
-    inter as f64 / union as f64
+    Ok(inter as f64 / union as f64)
 }
 
 /// Accumulates mean temporal IoU per bucket.
@@ -113,11 +166,13 @@ mod tests {
 
     #[test]
     fn iou_identities() {
-        assert_eq!(interval_iou((0, 100), (0, 100)), 1.0);
-        assert_eq!(interval_iou((0, 50), (50, 100)), 0.0);
-        assert!((interval_iou((0, 100), (50, 150)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(interval_iou((0, 100), (0, 100)), Ok(1.0));
+        assert_eq!(interval_iou((0, 50), (50, 100)), Ok(0.0));
+        let third = interval_iou((0, 100), (50, 150)).unwrap();
+        assert!((third - 1.0 / 3.0).abs() < 1e-12);
         // Containment: |inner| / |outer|.
-        assert!((interval_iou((25, 75), (0, 100)) - 0.5).abs() < 1e-12);
+        let half = interval_iou((25, 75), (0, 100)).unwrap();
+        assert!((half - 0.5).abs() < 1e-12);
         // Symmetry.
         assert_eq!(
             interval_iou((0, 60), (30, 90)),
@@ -126,9 +181,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty detected interval")]
-    fn empty_interval_rejected() {
-        let _ = interval_iou((10, 10), (0, 100));
+    fn degenerate_but_ordered_intervals_score_zero() {
+        // A single-timestamp detection used to panic the eval runner
+        // mid-sweep; it now scores zero overlap.
+        assert_eq!(interval_iou((10, 10), (0, 100)), Ok(0.0));
+        assert_eq!(interval_iou((0, 100), (10, 10)), Ok(0.0));
+        assert_eq!(interval_iou((10, 10), (10, 10)), Ok(0.0));
+    }
+
+    #[test]
+    fn reversed_intervals_are_typed_errors() {
+        assert_eq!(
+            interval_iou((20, 10), (0, 100)),
+            Err(IntervalError::ReversedDetected { interval: (20, 10) })
+        );
+        assert_eq!(
+            interval_iou((0, 100), (90, 3)),
+            Err(IntervalError::ReversedTruth { interval: (90, 3) })
+        );
+        let msg = interval_iou((20, 10), (0, 100)).unwrap_err().to_string();
+        assert!(msg.contains("reversed detected interval (20, 10)"), "{msg}");
     }
 
     #[test]

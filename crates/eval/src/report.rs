@@ -2,6 +2,7 @@
 
 use crate::buckets::Bucket;
 use crate::runner::EvalOutcome;
+use crate::scenarios::ScenarioOutcome;
 
 /// Formats outcomes as the paper's accuracy table (Tables III / IV): one row
 /// per method, one column per stay-point bucket plus the overall column.
@@ -116,6 +117,66 @@ pub fn accuracy_csv(outcomes: &[EvalOutcome]) -> String {
     s
 }
 
+/// Formats scenario rows as a Table III-style robustness table: one row per
+/// scenario (baseline first), per-bucket accuracy columns, overall accuracy,
+/// mean IoU, and the excluded-sample count. Rows are never merged — the
+/// point of the suite is that no pathology hides inside an average.
+pub fn scenario_table(title: &str, rows: &[ScenarioOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{title}\n"));
+    if let Some(first) = rows.first() {
+        s.push_str(&format!("method: {}\n", first.method));
+    }
+    s.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>6}\n",
+        "Scenario", "#Samples", "3~5", "6~8", "9~11", "12~14", "Acc(3~14)", "IoU", "Excl"
+    ));
+    for r in rows {
+        let [c0, c1, c2, c3] = Bucket::ALL.map(|b| fmt_pct(r.accuracy.acc(b)));
+        s.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>6}\n",
+            r.scenario.label(),
+            r.accuracy.total(),
+            c0,
+            c1,
+            c2,
+            c3,
+            fmt_pct(r.accuracy.overall()),
+            match r.iou.overall() {
+                Some(v) => format!("{v:.3}"),
+                None => "-".into(),
+            },
+            r.excluded_test_samples
+        ));
+    }
+    s
+}
+
+/// CSV rows of a scenario table
+/// (`method,scenario,samples,excluded,accuracy_pct,mean_iou`); accuracy and
+/// IoU are the scenario-overall values, one row per scenario.
+pub fn scenario_csv(rows: &[ScenarioOutcome]) -> String {
+    let mut s = String::from("method,scenario,samples,excluded,accuracy_pct,mean_iou\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.method,
+            r.scenario.label(),
+            r.accuracy.total(),
+            r.excluded_test_samples,
+            match r.accuracy.overall() {
+                Some(a) => format!("{a:.2}"),
+                None => "-".into(),
+            },
+            match r.iou.overall() {
+                Some(v) => format!("{v:.4}"),
+                None => "-".into(),
+            }
+        ));
+    }
+    s
+}
+
 fn fmt_pct(v: Option<f64>) -> String {
     match v {
         Some(p) => format!("{p:.1}"),
@@ -196,5 +257,50 @@ mod tests {
         let csv = accuracy_csv(&[outcome()]);
         assert!(csv.contains("LEAD,3~5,100.00"));
         assert!(csv.contains("LEAD,3~14,50.00"));
+    }
+
+    fn scenario_rows() -> Vec<ScenarioOutcome> {
+        use lead_synth::ScenarioKind;
+        ScenarioKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut accuracy = BucketAccuracy::new();
+                accuracy.record(4, kind == ScenarioKind::Baseline);
+                let mut iou = BucketIou::new();
+                iou.record(4, 0.75);
+                ScenarioOutcome {
+                    scenario: kind,
+                    method: "SP-R",
+                    accuracy,
+                    iou,
+                    excluded_test_samples: kind.index(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scenario_table_has_one_row_per_scenario() {
+        let t = scenario_table("Robustness per scenario", &scenario_rows());
+        assert!(t.contains("method: SP-R"));
+        for label in [
+            "baseline",
+            "tunnel-dropout",
+            "clock-skew",
+            "spoof-jump",
+            "mixed-rates",
+            "multi-leg",
+        ] {
+            assert!(t.contains(label), "missing row `{label}`:\n{t}");
+        }
+        assert!(t.contains("0.750"));
+    }
+
+    #[test]
+    fn scenario_csv_keeps_scenarios_separate() {
+        let csv = scenario_csv(&scenario_rows());
+        assert_eq!(csv.lines().count(), 1 + 6);
+        assert!(csv.contains("SP-R,baseline,1,0,100.00,0.7500"));
+        assert!(csv.contains("SP-R,multi-leg,1,5,0.00,0.7500"));
     }
 }

@@ -8,6 +8,7 @@ use lead_baselines::{RnnKind, SpR, SpRnn, SpRnnConfig};
 use lead_core::config::LeadConfig;
 use lead_core::label::truth_stay_indices;
 use lead_core::pipeline::{DetectOptions, Lead, LeadOptions, TrainSample, TrainingReport};
+use lead_core::poi::PoiDatabase;
 use lead_core::processing::{Candidate, ProcessedTrajectory};
 use lead_core::LeadError;
 use lead_obs::probe::{Probe, NOOP};
@@ -132,41 +133,127 @@ pub fn train_and_evaluate_probed(
     rnn_config: &SpRnnConfig,
     probe: &dyn Probe,
 ) -> Result<EvalOutcome, LeadError> {
-    let train = to_train_samples(&dataset.train);
-    let val = to_train_samples(&dataset.val);
-    let poi_db = &dataset.city.poi_db;
-
     let t0 = Stopwatch::start();
-    enum Model {
-        SpR(SpR),
-        Rnn(SpRnn),
-        Lead(Box<Lead>),
+    let (model, report) = train_method(
+        method,
+        &dataset.train,
+        &dataset.val,
+        &dataset.city.poi_db,
+        lead_config,
+        rnn_config,
+        probe,
+    )?;
+    let train_seconds = t0.elapsed().as_secs_f64();
+    let stats = sweep_test_split(
+        &model,
+        &dataset.test,
+        &dataset.city.poi_db,
+        lead_config,
+        probe,
+    );
+    Ok(EvalOutcome {
+        name: model.name,
+        accuracy: stats.accuracy,
+        timing: stats.timing,
+        iou: stats.iou,
+        report,
+        train_seconds,
+        excluded_test_samples: stats.excluded_test_samples,
+    })
+}
+
+enum ModelImpl {
+    SpR(SpR),
+    Rnn(SpRnn),
+    Lead(Box<Lead>),
+}
+
+/// A method trained on one dataset, ready to sweep any number of test
+/// splits — the train-once / sweep-many half of the evaluation protocol
+/// (the scenario suite sweeps six splits per trained model).
+pub struct TrainedModel {
+    inner: ModelImpl,
+    /// The paper's method name.
+    pub name: &'static str,
+}
+
+impl std::fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("name", &self.name)
+            .finish()
     }
-    let (model, report) = {
-        let _train_span = lead_obs::clock::span(probe, "eval.train");
-        match method {
-            Method::SpR => (
-                Model::SpR(SpR::fit(&train, lead_config)),
-                TrainingReport::default(),
-            ),
-            Method::SpGru => {
-                let (m, _curve) = SpRnn::fit(RnnKind::Gru, &train, poi_db, lead_config, rnn_config);
-                (Model::Rnn(m), TrainingReport::default())
-            }
-            Method::SpLstm => {
-                let (m, _curve) =
-                    SpRnn::fit(RnnKind::Lstm, &train, poi_db, lead_config, rnn_config);
-                (Model::Rnn(m), TrainingReport::default())
-            }
-            Method::Lead(options) => {
-                let (m, report) =
-                    Lead::fit_opts(&train, &val, poi_db, lead_config, options, probe)?;
-                (Model::Lead(Box::new(m)), report)
-            }
+}
+
+/// Everything a test sweep measures (per stay-point bucket, Table III style).
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Per-bucket and overall accuracy.
+    pub accuracy: BucketAccuracy,
+    /// Per-bucket mean inference time.
+    pub timing: BucketTiming,
+    /// Per-bucket mean temporal IoU of detected vs true loaded intervals.
+    pub iou: BucketIou,
+    /// Samples excluded because their ground truth did not survive
+    /// processing.
+    pub excluded_test_samples: usize,
+}
+
+/// Trains `method` on `train`/`val` (records an `eval.train` span).
+///
+/// # Errors
+/// Returns a [`LeadError`] when LEAD training rejects the configuration or
+/// no training sample survives processing (baselines keep their panicking
+/// contracts — they are paper reproductions, not public API).
+pub fn train_method(
+    method: Method,
+    train: &[Sample],
+    val: &[Sample],
+    poi_db: &PoiDatabase,
+    lead_config: &LeadConfig,
+    rnn_config: &SpRnnConfig,
+    probe: &dyn Probe,
+) -> Result<(TrainedModel, TrainingReport), LeadError> {
+    let train = to_train_samples(train);
+    let val = to_train_samples(val);
+    let _train_span = lead_obs::clock::span(probe, "eval.train");
+    let (inner, report) = match method {
+        Method::SpR => (
+            ModelImpl::SpR(SpR::fit(&train, lead_config)),
+            TrainingReport::default(),
+        ),
+        Method::SpGru => {
+            let (m, _curve) = SpRnn::fit(RnnKind::Gru, &train, poi_db, lead_config, rnn_config);
+            (ModelImpl::Rnn(m), TrainingReport::default())
+        }
+        Method::SpLstm => {
+            let (m, _curve) = SpRnn::fit(RnnKind::Lstm, &train, poi_db, lead_config, rnn_config);
+            (ModelImpl::Rnn(m), TrainingReport::default())
+        }
+        Method::Lead(options) => {
+            let (m, report) = Lead::fit_opts(&train, &val, poi_db, lead_config, options, probe)?;
+            (ModelImpl::Lead(Box::new(m)), report)
         }
     };
-    let train_seconds = t0.elapsed().as_secs_f64();
+    Ok((
+        TrainedModel {
+            inner,
+            name: method.name(),
+        },
+        report,
+    ))
+}
 
+/// Sweeps a trained model over one test split, recording accuracy, timing,
+/// and IoU per stay-point bucket (plus an `eval.sweep` span and an
+/// `eval.sweep_per_s` throughput gauge on the probe).
+pub fn sweep_test_split(
+    model: &TrainedModel,
+    test: &[Sample],
+    poi_db: &PoiDatabase,
+    lead_config: &LeadConfig,
+    probe: &dyn Probe,
+) -> SweepStats {
     let mut accuracy = BucketAccuracy::new();
     let mut timing = BucketTiming::new();
     let mut iou = BucketIou::new();
@@ -178,24 +265,26 @@ pub fn train_and_evaluate_probed(
     // independent. Per-sample wall-clock is measured inside the worker.
     let sweep_span = lead_obs::clock::span(probe, "eval.sweep");
     let sweep_watch = probe.enabled().then(lead_obs::clock::Stopwatch::start);
-    let model_ref = &model;
     let detect_opts = DetectOptions::new().with_threads(1).with_probe(probe);
-    let per_sample = lead_nn::par::par_map(lead_config.num_threads, &dataset.test, |_, sample| {
+    let per_sample = lead_nn::par::par_map(lead_config.num_threads, test, |_, sample| {
         let (proc, truth_cand) = test_case(sample, lead_config)?;
         let n = proc.num_stay_points();
         let t = Stopwatch::start();
-        let detected: Option<Candidate> = match model_ref {
-            Model::SpR(m) => m.detect(&sample.raw).map(|d| d.candidate()),
-            Model::Rnn(m) => m.detect(&sample.raw, poi_db).map(|d| d.candidate()),
-            Model::Lead(m) => m
+        let detected: Option<Candidate> = match &model.inner {
+            ModelImpl::SpR(m) => m.detect(&sample.raw).map(|d| d.candidate()),
+            ModelImpl::Rnn(m) => m.detect(&sample.raw, poi_db).map(|d| d.candidate()),
+            ModelImpl::Lead(m) => m
                 .detect_opts(&sample.raw, poi_db, &detect_opts)
                 .map(|d| d.detected),
         };
         let elapsed = t.elapsed();
         let hit = detected == Some(truth_cand);
         let truth_interval = (sample.truth.load_start_s, sample.truth.unload_end_s);
+        // A candidate interval is ordered by construction (stay points are
+        // chronological), so a reversed-interval error cannot occur here; a
+        // degenerate single-timestamp detection legitimately scores 0.
         let detected_iou = detected
-            .map(|c| interval_iou(candidate_interval(&proc, c), truth_interval))
+            .and_then(|c| interval_iou(candidate_interval(&proc, c), truth_interval).ok())
             .unwrap_or(0.0);
         Some((n, hit, elapsed, detected_iou))
     });
@@ -203,7 +292,7 @@ pub fn train_and_evaluate_probed(
     if let Some(w) = sweep_watch {
         let secs = w.elapsed().as_secs_f64();
         if secs > 0.0 {
-            probe.gauge("eval.sweep_per_s", dataset.test.len() as f64 / secs);
+            probe.gauge("eval.sweep_per_s", test.len() as f64 / secs);
         }
     }
     for outcome in per_sample {
@@ -216,15 +305,12 @@ pub fn train_and_evaluate_probed(
         iou.record(n, detected_iou);
     }
 
-    Ok(EvalOutcome {
-        name: method.name(),
+    SweepStats {
         accuracy,
         timing,
         iou,
-        report,
-        train_seconds,
         excluded_test_samples: excluded,
-    })
+    }
 }
 
 /// The time span `(start_s, end_s)` of a candidate's loaded trajectory.

@@ -13,13 +13,17 @@ proptest! {
     ) {
         let x = (a, a + alen);
         let y = (b, b + blen);
-        let v = interval_iou(x, y);
+        let v = interval_iou(x, y).unwrap();
         prop_assert!((0.0..=1.0).contains(&v));
-        prop_assert!((v - interval_iou(y, x)).abs() < 1e-12);
-        prop_assert!((interval_iou(x, x) - 1.0).abs() < 1e-12);
+        prop_assert!((v - interval_iou(y, x).unwrap()).abs() < 1e-12);
+        prop_assert!((interval_iou(x, x).unwrap() - 1.0).abs() < 1e-12);
         // Disjoint intervals score zero.
         let z = (a + alen + 1, a + alen + 2);
-        prop_assert_eq!(interval_iou(x, z), 0.0);
+        prop_assert_eq!(interval_iou(x, z), Ok(0.0));
+        // Degenerate-but-ordered intervals score zero instead of panicking;
+        // reversed ones are typed errors.
+        prop_assert_eq!(interval_iou((a, a), y), Ok(0.0));
+        prop_assert!(interval_iou((a + alen, a), y).is_err());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum CsvError {
     Io(std::io::Error),
     /// A malformed line (1-based line number and description).
     Parse(usize, String),
+    /// A structural error only detectable once the input ends (e.g. the
+    /// final trajectory flush), where no line number exists to point at.
+    EndOfInput(String),
 }
 
 impl fmt::Display for CsvError {
@@ -23,6 +26,7 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "i/o error: {e}"),
             CsvError::Parse(line, m) => write!(f, "line {line}: {m}"),
+            CsvError::EndOfInput(m) => write!(f, "end of input: {m}"),
         }
     }
 }
@@ -93,7 +97,7 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>
             ));
         }
         if current_id != Some(id) {
-            flush(&mut out, current_id, &mut points, lineno)?;
+            flush(&mut out, current_id, &mut points, Some(lineno))?;
             current_id = Some(id);
         }
         if let Some(last) = points.last() {
@@ -106,8 +110,10 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>
         }
         points.push(GpsPoint::new(lat, lng, t));
     }
-    let final_line = usize::MAX;
-    flush(&mut out, current_id, &mut points, final_line)?;
+    // The final flush happens after the last line was consumed; there is no
+    // "current line" to blame, so the error (if any) names end-of-input
+    // instead of a fabricated line number.
+    flush(&mut out, current_id, &mut points, None)?;
     Ok(out)
 }
 
@@ -115,11 +121,15 @@ fn flush(
     out: &mut Vec<(u32, Trajectory)>,
     id: Option<u32>,
     points: &mut Vec<GpsPoint>,
-    lineno: usize,
+    lineno: Option<usize>,
 ) -> Result<(), CsvError> {
     if let Some(id) = id {
         if points.is_empty() {
-            return Err(CsvError::Parse(lineno, format!("truck {id} has no points")));
+            let msg = format!("truck {id} has no points");
+            return Err(match lineno {
+                Some(line) => CsvError::Parse(line, msg),
+                None => CsvError::EndOfInput(msg),
+            });
         }
         out.push((id, Trajectory::new(std::mem::take(points))));
     }

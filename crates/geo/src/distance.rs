@@ -25,11 +25,27 @@ pub fn haversine_m(lat1: f64, lng1: f64, lat2: f64, lng2: f64) -> f64 {
 /// is far below GPS noise, so hot loops (stay-point extraction over millions
 /// of points, grid-index candidate filtering) may use this instead. The
 /// `distance` benchmark in `lead-bench` quantifies the speedup.
+///
+/// The longitude delta is normalized into (−180°, 180°], so a pair
+/// straddling the antimeridian (179.9° and −179.9°) measures the ~22 km that
+/// actually separate the points, not a spurious near-circumference span —
+/// haversine gets this for free from its trigonometry, and the two must
+/// agree wherever both are valid.
 pub fn equirectangular_m(lat1: f64, lng1: f64, lat2: f64, lng2: f64) -> f64 {
     let mean_lat = ((lat1 + lat2) / 2.0).to_radians();
-    let x = (lng2 - lng1).to_radians() * mean_lat.cos();
+    let x = wrap_deg(lng2 - lng1).to_radians() * mean_lat.cos();
     let y = (lat2 - lat1).to_radians();
     EARTH_RADIUS_M * (x * x + y * y).sqrt()
+}
+
+/// Normalizes a longitude difference in degrees into (−180°, 180°].
+fn wrap_deg(dlng: f64) -> f64 {
+    let w = (dlng + 180.0).rem_euclid(360.0) - 180.0;
+    if w == -180.0 {
+        180.0
+    } else {
+        w
+    }
 }
 
 /// Degrees of latitude spanning `meters` on the meridian.
@@ -92,6 +108,39 @@ mod tests {
         let d = haversine_m(0.0, 0.0, 0.0, 180.0);
         let half = std::f64::consts::PI * EARTH_RADIUS_M;
         assert!((d - half).abs() < 1.0);
+    }
+
+    #[test]
+    fn equirectangular_agrees_with_haversine_across_the_antimeridian() {
+        // Pairs straddling ±180° longitude, a few km apart on the ground.
+        // Pre-fix the unwrapped Δlng of ~359.8° reported ~40,000 km.
+        for (lat, lng1, lng2) in [
+            (32.0, 179.9, -179.9),
+            (32.0, -179.95, 179.99),
+            (0.0, 179.99, -179.99),
+            (-45.0, 179.9, -179.97),
+        ] {
+            let h = haversine_m(lat, lng1, lat, lng2);
+            let e = equirectangular_m(lat, lng1, lat, lng2);
+            assert!(h < 40_000.0, "test pair not city-scale: {h} m");
+            assert!((h - e).abs() / h.max(1.0) < 1e-3, "h={h} e={e}");
+        }
+        // And the direction of travel must not matter (up to the ~1e-13°
+        // rounding asymmetry of `rem_euclid` on either side of the wrap).
+        let a = equirectangular_m(32.0, 179.9, 32.01, -179.9);
+        let b = equirectangular_m(32.01, -179.9, 32.0, 179.9);
+        assert!((a - b).abs() < 1e-6, "a={a} b={b}");
+    }
+
+    #[test]
+    fn wrap_deg_normalizes_into_half_open_range() {
+        assert_eq!(wrap_deg(0.0), 0.0);
+        assert!((wrap_deg(359.8) - -0.2).abs() < 1e-9);
+        assert!((wrap_deg(-359.8) - 0.2).abs() < 1e-9);
+        assert_eq!(wrap_deg(180.0), 180.0);
+        assert_eq!(wrap_deg(-180.0), 180.0);
+        assert_eq!(wrap_deg(540.0), 180.0);
+        assert!((wrap_deg(720.1) - 0.1).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Fixture-driven CSV ingestion tests: pathological feeds a real deployment
+//! produces (clock skew, truncated trailers) must fail with diagnostics that
+//! point at the offending input, never at fabricated positions.
+
+use lead_geo::csv::{read_trajectories, CsvError, HEADER};
+
+/// A truck whose device clock jumps backward mid-day (row 6 reports 28961 s
+/// after row 5's 29161 s) — the non-increasing-timestamp error path.
+const CLOCK_SKEW: &str = include_str!("data/clock_skew.csv");
+
+#[test]
+fn clock_skew_fixture_fails_on_the_offending_line() {
+    let err = read_trajectories(&mut CLOCK_SKEW.as_bytes()).unwrap_err();
+    match &err {
+        CsvError::Parse(line, msg) => {
+            assert_eq!(*line, 6, "1-based file line of the backward jump");
+            assert!(
+                msg.contains("non-increasing timestamp 28961 after 29161"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    // The rendered message names the line, and no message anywhere in this
+    // module may leak a sentinel line number (the old final-flush bug
+    // printed `line 18446744073709551615`).
+    let rendered = err.to_string();
+    assert!(rendered.starts_with("line 6:"), "{rendered}");
+    assert!(!rendered.contains("18446744073709551615"), "{rendered}");
+}
+
+#[test]
+fn end_of_input_errors_name_end_of_input_not_a_line_number() {
+    let rendered = CsvError::EndOfInput("truck 7 has no points".into()).to_string();
+    assert_eq!(rendered, "end of input: truck 7 has no points");
+}
+
+#[test]
+fn fixture_prefix_before_the_skew_parses_cleanly() {
+    // Dropping the skewed row (and everything after it) yields a valid feed:
+    // the error is about ordering, not about the values themselves.
+    let clean: String = CLOCK_SKEW
+        .lines()
+        .filter(|l| !l.starts_with("7,28961"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(clean.starts_with(HEADER));
+    let got = read_trajectories(&mut clean.as_bytes()).unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, 7);
+    assert_eq!(got[0].1.len(), 5);
+}

@@ -53,6 +53,20 @@ proptest! {
     }
 
     #[test]
+    fn equirectangular_tracks_haversine_across_the_antimeridian(
+        lat in -60.0..60.0f64,
+        // Longitudes in a ±0.3° band around the dateline, on either side.
+        e1 in 179.7..180.0f64,
+        w2 in -180.0..-179.7f64,
+    ) {
+        let h = haversine_m(lat, e1, lat + 0.01, w2);
+        let e = equirectangular_m(lat, e1, lat + 0.01, w2);
+        // City-scale separation (< ~70 km): the approximation must agree.
+        prop_assert!(h < 70_000.0, "pair not city-scale: {} m", h);
+        prop_assert!((h - e).abs() <= h.max(1.0) * 1e-3, "h={} e={}", h, e);
+    }
+
+    #[test]
     fn grid_index_matches_linear_scan(
         items in prop::collection::vec((city_lat(), city_lng()), 1..80),
         q in (city_lat(), city_lng()),

@@ -75,6 +75,12 @@ pub struct SynthConfig {
     pub micro_stop_prob: f64,
     /// Micro-stop dwell `(min, max)` seconds — below the 15-minute threshold.
     pub micro_stop_dwell_s: (i64, i64),
+    /// Probability that the day carries a *second* process (reload → deliver)
+    /// after the first unloading — the multi-leg confounder of the
+    /// [`crate::scenario`] suite. The ground-truth label always describes the
+    /// first process; the reload leg exists to distract detectors. 0 (the
+    /// default) keeps the paper's one-process day shape.
+    pub reload_leg_prob: f64,
 
     // ---- motion ----------------------------------------------------------------
     /// Empty-truck cruise speed range `(min, max)` in m/s (~50–80 km/h).
@@ -132,6 +138,7 @@ impl SynthConfig {
             industrial_break_fraction: 0.5,
             micro_stop_prob: 0.35,
             micro_stop_dwell_s: (150, 540),
+            reload_leg_prob: 0.0,
             base_speed_mps: (14.0, 22.0),
             loaded_speed_factor: 0.58,
             detour_when_loaded: true,
@@ -201,6 +208,10 @@ impl SynthConfig {
         assert!(
             (0.0..=1.0).contains(&self.industrial_break_fraction),
             "invalid industrial break fraction"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.reload_leg_prob),
+            "invalid reload leg prob"
         );
         assert!(
             self.base_speed_mps.0 > 0.0 && self.base_speed_mps.1 >= self.base_speed_mps.0,

@@ -1,10 +1,13 @@
 //! Day planning: the three ordered phases of an HCT process plus the
 //! confounding breaks that make detection hard.
 //!
-//! Each plan has exactly one loading stop and one later unloading stop
-//! (Figure 1 of the paper) and a controlled number of ordinary breaks before,
-//! between, and after them, so the total stay-point count lands in the
-//! paper's 3–14 range with the Table III bucket mix.
+//! Each plan has one loading stop and one later unloading stop (Figure 1 of
+//! the paper) and a controlled number of ordinary breaks before, between, and
+//! after them, so the total stay-point count lands in the paper's 3–14 range
+//! with the Table III bucket mix. With probability
+//! [`SynthConfig::reload_leg_prob`] (0 by default) the day carries a *second*
+//! load → unload process after the first — the multi-leg confounder of the
+//! scenario suite; the ground truth always labels the first process.
 
 use crate::city::{City, Site};
 use crate::config::SynthConfig;
@@ -101,8 +104,8 @@ pub struct PlannedStop {
 pub struct DayPlan {
     /// Seconds after midnight at departure from the depot.
     pub depart_s: i64,
-    /// The ordered stops; exactly one `Loading`, exactly one later
-    /// `Unloading`.
+    /// The ordered stops: one `Loading` then one later `Unloading`, plus an
+    /// optional second load/unload pair (the reload leg) after the first.
     pub stops: Vec<PlannedStop>,
     /// Where the day ends (the depot).
     pub end_site: Site,
@@ -114,30 +117,38 @@ impl DayPlan {
         self.stops.len()
     }
 
-    /// Index of the loading stop within `stops`.
+    /// Index of the *first* loading stop within `stops`.
     pub fn loading_index(&self) -> usize {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Loading)
-            // lint: allow(panic): construction invariant — every generated plan contains exactly one loading stop
+            // lint: allow(panic): construction invariant — every generated plan contains at least one loading stop
             .expect("plan has a loading stop")
     }
 
-    /// Index of the unloading stop within `stops`.
+    /// Index of the *first* unloading stop within `stops`.
     pub fn unloading_index(&self) -> usize {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Unloading)
-            // lint: allow(panic): construction invariant — every generated plan contains exactly one unloading stop
+            // lint: allow(panic): construction invariant — every generated plan contains at least one unloading stop
             .expect("plan has an unloading stop")
     }
 
     /// Whether the truck is loaded while driving *to* stop `i` (or to the end
-    /// site when `i == stops.len()`).
+    /// site when `i == stops.len()`): loading sets the state, unloading
+    /// clears it, so a reload leg is loaded again.
     pub fn loaded_on_leg(&self, i: usize) -> bool {
-        let l = self.loading_index();
-        let u = self.unloading_index();
-        i > l && i <= u
+        let upto = i.min(self.stops.len());
+        let mut loaded = false;
+        for s in &self.stops[..upto] {
+            match s.kind {
+                StayKind::Loading => loaded = true,
+                StayKind::Unloading => loaded = false,
+                StayKind::Break => {}
+            }
+        }
+        loaded
     }
 }
 
@@ -210,6 +221,25 @@ pub fn plan_day<R: Rng>(
             kind: StayKind::Break,
         });
         cursor = (site.x, site.y);
+    }
+
+    // Optional reload leg: a second load → unload process after the first.
+    // The motion simulator drives these legs loaded and the detectors see two
+    // plausible loaded trajectories — but the ground truth labels the first.
+    if config.reload_leg_prob > 0.0 && rng.gen_bool(config.reload_leg_prob) {
+        let reload = truck.loading_pool[rng.gen_range(0..truck.loading_pool.len())];
+        stops.push(PlannedStop {
+            site: reload,
+            dwell_s: uniform_i64(rng, config.loading_dwell_s),
+            kind: StayKind::Loading,
+        });
+        let deliver = pick_distinct_site(rng, &truck.unloading_pool, reload);
+        stops.push(PlannedStop {
+            site: deliver,
+            dwell_s: uniform_i64(rng, config.unloading_dwell_s),
+            kind: StayKind::Unloading,
+        });
+        cursor = (deliver.x, deliver.y);
     }
     let _ = cursor;
 
@@ -350,6 +380,37 @@ mod tests {
         assert!(!plan.loaded_on_leg(l)); // driving TO the loading stop: empty
         assert!(plan.loaded_on_leg(u)); // driving TO the unloading stop: loaded
         assert!(!plan.loaded_on_leg(plan.stops.len())); // heading home: empty
+    }
+
+    #[test]
+    fn reload_leg_appends_a_second_loaded_process() {
+        let (city, mut cfg, mut rng) = setup();
+        cfg.reload_leg_prob = 1.0;
+        let t = TruckProfile::generate(&city, &cfg, &mut rng, 0);
+        for _ in 0..30 {
+            let plan = plan_day(&city, &cfg, &t, &mut rng);
+            let loads = plan
+                .stops
+                .iter()
+                .filter(|s| s.kind == StayKind::Loading)
+                .count();
+            let unloads = plan
+                .stops
+                .iter()
+                .filter(|s| s.kind == StayKind::Unloading)
+                .count();
+            assert_eq!((loads, unloads), (2, 2));
+            // The last two stops are the reload leg, in load → unload order.
+            let n = plan.stops.len();
+            assert_eq!(plan.stops[n - 2].kind, StayKind::Loading);
+            assert_eq!(plan.stops[n - 1].kind, StayKind::Unloading);
+            // The reload's delivery leg drives loaded; heading home does not.
+            assert!(plan.loaded_on_leg(n - 1));
+            assert!(!plan.loaded_on_leg(n));
+            // First-process indexes are unaffected by the reload pair.
+            assert!(plan.loading_index() < plan.unloading_index());
+            assert!(plan.unloading_index() < n - 2);
+        }
     }
 
     #[test]

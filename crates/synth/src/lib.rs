@@ -20,7 +20,8 @@
 //! [`itinerary`] (three-phase day plans with confounders), [`motion`]
 //! (kinematic simulation with loaded-phase signatures), [`gps`] (sampling
 //! noise and outlier spikes), [`dataset`] (labelled samples and disjoint-truck
-//! splits), [`config`] (all knobs, seeded and deterministic).
+//! splits), [`config`] (all knobs, seeded and deterministic), [`scenario`]
+//! (named adversarial recording pathologies behind seeded configs).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,6 +33,7 @@ pub mod gps;
 pub mod itinerary;
 pub mod motion;
 pub(crate) mod rand_util;
+pub mod scenario;
 pub mod stats;
 
 /// Re-export of the POI model from `lead-core` (the 29-category taxonomy is
@@ -44,3 +46,4 @@ pub use city::City;
 pub use config::SynthConfig;
 pub use dataset::{generate_dataset, Dataset, Sample, TruthLabel};
 pub use poi::{Poi, PoiCategory, PoiDatabase, PoiRole, NUM_POI_CATEGORIES};
+pub use scenario::{generate_scenario_dataset, ScenarioConfig, ScenarioKind};

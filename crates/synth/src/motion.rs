@@ -102,16 +102,18 @@ pub fn simulate<R: Rng>(
             t,
             staying: true,
         });
+        // Only the *first* process is the ground truth; a reload leg's second
+        // load/unload pair (scenario confounder) must not overwrite it.
         match stop.kind {
-            StayKind::Loading => {
+            StayKind::Loading if truth.load_end_s == 0 => {
                 truth.load_start_s = start as i64;
                 truth.load_end_s = t as i64;
             }
-            StayKind::Unloading => {
+            StayKind::Unloading if truth.unload_end_s == 0 => {
                 truth.unload_start_s = start as i64;
                 truth.unload_end_s = t as i64;
             }
-            StayKind::Break => {}
+            StayKind::Loading | StayKind::Unloading | StayKind::Break => {}
         }
     }
 

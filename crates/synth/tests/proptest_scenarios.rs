@@ -1,0 +1,94 @@
+//! Property tests over the GPS pathology scenarios (ISSUE 6 tentpole):
+//! every generator must be bit-reproducible from its seeds, and every
+//! pathological trajectory it emits must keep the streaming stay-point
+//! extractor equivalent to the batch one after noise filtering — the
+//! scenarios exist precisely to stress the edge cases (gaps, skew, jumps,
+//! sparse rates, long multi-leg days) where the two paths could diverge.
+
+use lead_core::processing::{extract_stay_points, filter_noise};
+use lead_core::streaming::IncrementalStayExtractor;
+use lead_synth::{
+    generate_scenario_dataset, Dataset, Sample, ScenarioConfig, ScenarioKind, SynthConfig,
+};
+use proptest::prelude::*;
+
+/// A world small enough to regenerate many times per property case.
+fn small_base(world_seed: u64) -> SynthConfig {
+    let mut base = SynthConfig::tiny();
+    base.seed = world_seed;
+    base.num_trucks = 10;
+    base.days_per_truck = 1;
+    base
+}
+
+fn samples(ds: &Dataset) -> impl Iterator<Item = &Sample> {
+    ds.train.iter().chain(&ds.val).chain(&ds.test)
+}
+
+fn assert_identical(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in samples(a).zip(samples(b)) {
+        assert_eq!(x.truck_id, y.truck_id);
+        assert_eq!(x.day, y.day);
+        assert_eq!(
+            x.raw, y.raw,
+            "trajectories diverged for truck {}",
+            x.truck_id
+        );
+        assert_eq!(x.truth, y.truth);
+        assert_eq!(x.planned_stays, y.planned_stays);
+    }
+}
+
+proptest! {
+    /// (i) Seed determinism: the same `(world seed, scenario seed)` pair
+    /// regenerates every scenario dataset bit-for-bit.
+    #[test]
+    fn every_scenario_regenerates_identically(
+        world_seed in 0u64..1_000,
+        scenario_seed in any::<u64>(),
+    ) {
+        let base = small_base(world_seed);
+        for kind in ScenarioKind::ALL {
+            let sc = ScenarioConfig::new(kind, scenario_seed);
+            let a = generate_scenario_dataset(&base, &sc);
+            let b = generate_scenario_dataset(&base, &sc);
+            assert_identical(&a, &b);
+        }
+    }
+
+    /// (ii) Batch/streaming equivalence after processing: for every
+    /// pathological trajectory, incremental stay-point extraction over the
+    /// noise-filtered stream reproduces the batch extraction exactly.
+    #[test]
+    fn scenarios_keep_streaming_equivalent_to_batch(
+        world_seed in 0u64..1_000,
+        scenario_seed in any::<u64>(),
+    ) {
+        let base = small_base(world_seed);
+        let d_max = 500.0;
+        let t_min = 900i64;
+        for kind in ScenarioKind::ALL {
+            let sc = ScenarioConfig::new(kind, scenario_seed);
+            let ds = generate_scenario_dataset(&base, &sc);
+            for s in samples(&ds) {
+                let cleaned = filter_noise(&s.raw, 130.0);
+                let batch = extract_stay_points(&cleaned, d_max, t_min as f64);
+
+                let mut ex = IncrementalStayExtractor::new(d_max, t_min);
+                let mut buffer = Vec::new();
+                let mut streamed = Vec::new();
+                for &p in cleaned.points() {
+                    buffer.push(p);
+                    streamed.extend(ex.on_point_appended(&buffer));
+                }
+                streamed.extend(ex.finish(&buffer));
+                prop_assert!(
+                    streamed == batch,
+                    "streaming diverged from batch under {} (truck {}, day {}): {:?} vs {:?}",
+                    kind.label(), s.truck_id, s.day, streamed, batch
+                );
+            }
+        }
+    }
+}

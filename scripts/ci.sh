@@ -30,7 +30,19 @@ if ! cargo run -q -p lead-lint --release -- --format json --baseline lint.baseli
     exit 1
 fi
 
+echo "==> bench-ratchet self-test (the gate must catch a planted regression)"
+cargo run -q -p lead-bench --release --bin bench_ratchet -- --self-test
+
+echo "==> bench-ratchet gate (results/BENCH_6.json vs bench.baseline)"
+cargo run -q -p lead-bench --release --bin bench_ratchet -- \
+    --write results/BENCH_6.json --baseline bench.baseline
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+# Deterministic artifact listing: uploads of results/ must not depend on
+# filesystem enumeration order or locale.
+echo "==> results/ artifacts"
+find results -type f | LC_ALL=C sort
 
 echo "CI gate passed."
