@@ -54,7 +54,61 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// Runs the calibrated suite: processing, encoding, detection, streaming.
+/// Writes a deterministic synthetic lint corpus (NOT the real tree, whose
+/// size changes every PR and would churn the ratchet) under the OS temp
+/// directory and returns its root: two classified crates, 24 files, a mix
+/// of functions, literals, comments, loops, and seeded violations.
+fn lint_corpus() -> std::path::PathBuf {
+    let root = std::env::temp_dir().join("lead-bench-lint-corpus-v1");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clear stale lint corpus");
+    }
+    let write = |rel: &str, content: &str| {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("corpus path has a parent"))
+            .expect("mkdir corpus");
+        std::fs::write(path, content).expect("write corpus file");
+    };
+    write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    for (c, name) in [("crates/alpha", "alpha"), ("crates/beta", "beta")] {
+        write(
+            &format!("{c}/Cargo.toml"),
+            &format!("[package]\nname = \"{name}\"\n\n[package.metadata.lead]\nclass = \"lib\"\nkernel = \"hot\"\n"),
+        );
+        write(
+            &format!("{c}/src/lib.rs"),
+            "//! Corpus crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n",
+        );
+        for f in 0..11 {
+            let mut src = String::from("//! Synthetic corpus file.\n\n");
+            for i in 0..40 {
+                let seed = f * 13 + i;
+                match (seed * 7) % 5 {
+                    0 => src.push_str(&format!(
+                        "fn f{f}_{i}(x: u32) -> u32 {{\n    // widen then clamp\n    x + {i}\n}}\n"
+                    )),
+                    1 => src.push_str(&format!(
+                        "fn s{f}_{i}() -> &'static str {{\n    \"literal with // tricks and {{braces}}\"\n}}\n"
+                    )),
+                    2 => src.push_str(&format!(
+                        "fn l{f}_{i}(v: &[u32]) -> u32 {{\n    let mut acc = 0;\n    for &x in v {{\n        acc += x;\n    }}\n    acc\n}}\n"
+                    )),
+                    3 => src.push_str(&format!(
+                        "fn o{f}_{i}(o: Option<u32>) -> u32 {{\n    o.unwrap()\n}}\n"
+                    )),
+                    _ => src.push_str(&format!(
+                        "/* block {f} {i} */\nfn b{f}_{i}() {{}}\n"
+                    )),
+                }
+            }
+            write(&format!("{c}/src/mod_{f}.rs"), &src);
+        }
+    }
+    root
+}
+
+/// Runs the calibrated suite: processing, encoding, detection, streaming,
+/// lint scanning, and SIMD dispatch.
 fn run_suite(sample_ms: u64) -> Vec<BenchRecord> {
     let mut records = Vec::new();
     let mut push = |name: &str, fp_desc: String, median_iters: (u64, u64)| {
@@ -171,6 +225,33 @@ fn run_suite(sample_ms: u64) -> Vec<BenchRecord> {
                 std::hint::black_box(ex.on_point_appended(&dwell[..=i]));
             }
             std::hint::black_box(ex.finish(&dwell));
+        }),
+    );
+
+    // ---- lint: full workspace scan over a fixed synthetic corpus ----------
+    // Exercises the whole analyzer stack per file: lossless tokenize, block
+    // IR construction, per-line rules, R10/R11, manifests, workspace checks.
+    let corpus = lint_corpus();
+    push(
+        "lint/scan_workspace_24_files",
+        "crates=2 files_per=11 lines_per=~160 corpus=v1".to_string(),
+        measure(sample_ms, || {
+            std::hint::black_box(lead_lint::scan_workspace(&corpus).expect("corpus scan succeeds"));
+        }),
+    );
+
+    // ---- simd: runtime-dispatched dot product ------------------------------
+    // The fingerprint is backend-independent on purpose: results are
+    // bit-identical across backends, so only the workload shape pins it.
+    let backend = lead_nn::simd::Backend::select();
+    let xs: Vec<f32> = (0..16_384).map(|i| (i as f32 * 0.37).sin()).collect();
+    let ys: Vec<f32> = (0..16_384).map(|i| (i as f32 * 0.53).cos()).collect();
+    push(
+        "simd/dot_16384_dispatch",
+        "len=16384 lanes=8 blocked-mul-add".to_string(),
+        measure(sample_ms, || {
+            use lead_nn::simd::Kernel;
+            std::hint::black_box(backend.dot(&xs, &ys));
         }),
     );
 

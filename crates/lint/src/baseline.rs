@@ -2,7 +2,9 @@
 //! on baseline entries that no longer fire.
 //!
 //! The baseline file lists one known diagnostic per line as
-//! `file:line:rule`; blank lines and `#` comments are allowed. Ratchet mode
+//! `file:line:rule` (column numbers are deliberately *not* part of the key,
+//! so unrelated edits on a line never churn the baseline); blank lines and
+//! `#` comments are allowed. Ratchet mode
 //! (`--baseline <file>`) subtracts matched diagnostics from the report, so
 //! legacy debt doesn't block CI — but any *new* diagnostic still fails, and
 //! a baseline entry whose diagnostic has been fixed fails as
@@ -62,7 +64,7 @@ pub fn parse(source: &str) -> Result<Vec<Entry>, String> {
 
 /// Applies the ratchet: removes diagnostics matched by an entry, and turns
 /// every unmatched entry into a `stale-baseline` diagnostic at the baseline
-/// file itself. The result is re-sorted by `(file, line, rule)`.
+/// file itself. The result is re-sorted by `(file, line, col, rule)`.
 ///
 /// Matching is exact on `(file, line, rule)` — two diagnostics of different
 /// rules on one line need two entries.
@@ -88,6 +90,7 @@ pub fn apply(
         diags.push(Diagnostic {
             file: baseline_rel_path.to_string(),
             line: e.entry_line,
+            col: 1,
             rule: "stale-baseline",
             message: format!(
                 "baseline entry `{}:{}:{}` no longer fires — delete it so the \
@@ -97,7 +100,7 @@ pub fn apply(
             snippet: format!("{}:{}:{}", e.file, e.line, e.rule),
         });
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     diags
 }
 
@@ -109,6 +112,7 @@ mod tests {
         Diagnostic {
             file: file.to_string(),
             line,
+            col: 1,
             rule,
             message: "m".to_string(),
             snippet: "s".to_string(),

@@ -9,6 +9,9 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column in the *code view* of the line (strings blanked,
+    /// comments removed). Line-level and workspace-level findings use 1.
+    pub col: usize,
     /// The rule id (`hash-order`, `panic`, …, or `bad-waiver`/`unused-waiver`).
     pub rule: &'static str,
     /// Human-readable explanation with the suggested fix.
@@ -21,8 +24,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )?;
         write!(f, "    | {}", self.snippet)
     }
@@ -46,6 +49,8 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
         json_string(&mut out, &d.file);
         out.push_str(",\"line\":");
         out.push_str(&d.line.to_string());
+        out.push_str(",\"col\":");
+        out.push_str(&d.col.to_string());
         out.push_str(",\"rule\":");
         json_string(&mut out, d.rule);
         out.push_str(",\"message\":");
@@ -87,6 +92,7 @@ mod tests {
         Diagnostic {
             file: file.to_string(),
             line,
+            col: 1,
             rule,
             message: msg.to_string(),
             snippet: "let x = 1;".to_string(),

@@ -52,8 +52,8 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One token: a kind, the exact source text, and the 1-based line its first
-/// byte sits on.
+/// One token: a kind, the exact source text, and the 1-based line/column its
+/// first byte sits on.
 #[derive(Debug, Clone)]
 pub struct Token<'s> {
     /// The classification.
@@ -62,6 +62,8 @@ pub struct Token<'s> {
     pub text: &'s str,
     /// 1-based line number of the token's first byte.
     pub line: usize,
+    /// 1-based byte column of the token's first byte on its line.
+    pub col: usize,
 }
 
 /// Tokenizes `source` losslessly: the concatenated `text` of the returned
@@ -72,6 +74,7 @@ pub fn tokenize(source: &str) -> Vec<Token<'_>> {
         bytes: source.as_bytes(),
         pos: 0,
         line: 1,
+        col: 1,
         // Last byte that would reach the *code* view of the current line
         // (strings contribute their quotes, comments nothing). Used to keep
         // the raw-string heuristic identical to the historical per-line
@@ -87,6 +90,7 @@ struct Lexer<'s> {
     bytes: &'s [u8],
     pos: usize,
     line: usize,
+    col: usize,
     last_code_byte: Option<u8>,
 }
 
@@ -96,12 +100,16 @@ impl<'s> Lexer<'s> {
         while self.pos < self.bytes.len() {
             let start = self.pos;
             let start_line = self.line;
+            let start_col = self.col;
             let kind = self.next_kind();
             let text = &self.src[start..self.pos];
-            // Track line numbers and the last code-visible byte.
+            // Track line/column numbers and the last code-visible byte.
             for &b in &self.bytes[start..self.pos] {
                 if b == b'\n' {
                     self.line += 1;
+                    self.col = 1;
+                } else {
+                    self.col += 1;
                 }
             }
             self.update_last_code_byte(kind, text);
@@ -109,6 +117,7 @@ impl<'s> Lexer<'s> {
                 kind,
                 text,
                 line: start_line,
+                col: start_col,
             });
         }
         out

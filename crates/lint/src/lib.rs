@@ -10,12 +10,14 @@
 //! `syn`, no dependencies, so it runs in the offline build environment).
 //! [`scan`] replays the token stream into per-line code/comment views
 //! (string literals blanked, comments routed aside) and tracks
-//! `#[cfg(test)]` regions by brace depth; [`rules`] applies the catalog to
-//! every workspace source file, and [`workspace`] adds the cross-file
-//! checks over the parsed manifests ([`manifest`]). Diagnostics are printed
-//! as `file:line: [rule] message` with the offending snippet (or as JSON);
-//! any diagnostic makes the binary exit non-zero, which is how
-//! `scripts/ci.sh` gates merges.
+//! `#[cfg(test)]` regions by brace depth; [`blocks`] builds a block-aware
+//! IR over the same token stream (brace tree, fn/impl/mod item extraction,
+//! loop spans, `unsafe` sites) for the structural rules; [`rules`] applies
+//! the catalog to every workspace source file, and [`workspace`] adds the
+//! cross-file checks over the parsed manifests ([`manifest`]). Diagnostics
+//! are printed as `file:line:col: [rule] message` with the offending
+//! snippet (or as JSON); any diagnostic makes the binary exit non-zero,
+//! which is how `scripts/ci.sh` gates merges.
 //!
 //! # Rule catalog
 //!
@@ -31,11 +33,24 @@
 //! | `layering`    | R7: imports are declared, acyclic, and on the sanctioned DAG    |
 //! | `error-contract` | R8: fallible `pub fn`s document `# Errors`; no stringly errors |
 //! | `scope-drift` | R9: every crate is classified; scope tables stay current        |
+//! | `unsafe-contract` | R10: `unsafe` only in sanctioned modules, each site SAFETY-commented; library crates carry the crate-root lint attrs |
+//! | `hot-loop-alloc` | R11: no allocation/clone calls in loop bodies of kernel-tagged modules |
 //!
 //! R7–R9 are cross-file: they combine each file's token-level imports with a
 //! parsed subset of every workspace `Cargo.toml` ([`manifest`]), so an
 //! undeclared `use`, a dependency edge outside the sanctioned DAG, or a new
 //! crate missing from the classification tables fails the gate.
+//!
+//! R10 confines `unsafe` to the allowlist in `rules::SANCTIONED_UNSAFE`
+//! (initially `lead_nn::simd`): every site there needs a non-empty
+//! `// SAFETY:` comment directly above, every library crate outside the
+//! allowlist must actually carry `#![forbid(unsafe_code)]` +
+//! `#![deny(missing_docs)]`, and sanctioned crates downgrade to
+//! `#![deny(unsafe_code)]` with `#[allow(unsafe_code)]` permitted only on
+//! the sanctioned module's declaration. R11 reads the block IR's loop spans
+//! inside modules tagged `[package.metadata.lead] kernel = …` and flags
+//! allocation calls (`Vec::new`, `push`, `collect`, `clone`, `format!`, …)
+//! in loop bodies, keeping kernel inner loops allocation-free.
 //!
 //! # Output and ratchet
 //!
@@ -64,6 +79,7 @@
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod blocks;
 pub mod diag;
 pub mod lex;
 pub mod manifest;
@@ -81,13 +97,14 @@ use diag::Diagnostic;
 /// fixtures are scanned by handing their contents in under a pretend
 /// workspace path so rule scoping can be exercised.
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
-    let lines = scan::preprocess(source);
-    rules::apply(rel_path, &lines)
+    let view = scan::preprocess_file(source);
+    rules::apply(rel_path, &view)
 }
 
 /// Scans the whole workspace rooted at `root` and returns all diagnostics,
-/// sorted by `(file, line, rule)`. `Err` reports an I/O problem (unreadable
-/// file or directory), which the binary also treats as a gate failure.
+/// sorted by `(file, line, col, rule)`. `Err` reports an I/O problem
+/// (unreadable file or directory), which the binary also treats as a gate
+/// failure.
 ///
 /// Unlike [`scan_source`], this runs the cross-file families too: each
 /// file's imports are checked against its crate's manifest (R7), and the
@@ -101,15 +118,15 @@ pub fn scan_workspace(root: &std::path::Path) -> Result<Vec<Diagnostic>, String>
         let full = root.join(rel);
         let source = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
-        let lines = scan::preprocess(&source);
+        let view = scan::preprocess_file(&source);
         let imports = workspace::imports(&source);
         let checks = rules::FileChecks {
             imports: &imports,
             manifests: &manifests,
         };
-        diags.extend(rules::apply_file(rel, &lines, Some(&checks)));
+        diags.extend(rules::apply_file(rel, &view, Some(&checks)));
     }
     diags.extend(workspace::workspace_checks(root, &manifests));
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(diags)
 }

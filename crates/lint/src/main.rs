@@ -55,9 +55,9 @@ fn main() -> ExitCode {
                 println!(
                     "usage: lead-lint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]\n\n\
                      Scans the LEAD workspace sources and fails on violations of the\n\
-                     determinism, panic-freedom, and architecture rule catalog (R1-R9,\n\
-                     see DESIGN.md). Waive a deliberate violation with a justified line\n\
-                     comment: '// lint: allow(<rule>): <reason>'.\n\n\
+                     determinism, panic-freedom, unsafe-contract, and architecture rule\n\
+                     catalog (R1-R11, see DESIGN.md). Waive a deliberate violation with a\n\
+                     justified line comment: '// lint: allow(<rule>): <reason>'.\n\n\
                      --baseline enables ratchet mode: diagnostics listed in FILE (one\n\
                      'file:line:rule' per line) are suppressed, new diagnostics fail,\n\
                      and entries that no longer fire fail as stale-baseline."

@@ -34,6 +34,10 @@ pub struct Manifest {
     pub deps: Vec<Dep>,
     /// `[package.metadata.lead] class = "…"`, with its line.
     pub lead_class: Option<(String, usize)>,
+    /// `[package.metadata.lead] kernel = …`, with its line: `"true"` tags
+    /// the whole crate as a hot kernel (R11 `hot-loop-alloc`), a
+    /// comma-separated list tags the named top-level modules only.
+    pub lead_kernel: Option<(String, usize)>,
     /// True for `vendor/*` shims (registered as known packages, but exempt
     /// from the layering and scope rules).
     pub vendored: bool,
@@ -57,6 +61,7 @@ pub fn parse(rel_dir: &str, rel_path: &str, source: &str, vendored: bool) -> Man
         package: None,
         deps: Vec::new(),
         lead_class: None,
+        lead_kernel: None,
         vendored,
     };
     let mut section = String::new();
@@ -97,6 +102,9 @@ pub fn parse(rel_dir: &str, rel_path: &str, source: &str, vendored: bool) -> Man
             }
             "package.metadata.lead" if key == "class" => {
                 m.lead_class = Some((unquote(value).to_string(), idx + 1));
+            }
+            "package.metadata.lead" if key == "kernel" => {
+                m.lead_kernel = Some((unquote(value).to_string(), idx + 1));
             }
             _ => {}
         }
@@ -174,6 +182,7 @@ name = "lead-core" # the framework crate
 
 [package.metadata.lead]
 class = "result-lib"
+kernel = "simd,ops"
 
 [dependencies]
 lead-geo.workspace = true
@@ -194,13 +203,17 @@ workspace = true
             m.lead_class.as_ref().map(|c| c.0.as_str()),
             Some("result-lib")
         );
+        assert_eq!(
+            m.lead_kernel.as_ref().map(|k| k.0.as_str()),
+            Some("simd,ops")
+        );
         assert!(m.declares("lead-geo", false));
         assert!(m.declares("rand", false));
         assert!(m.declares("lead-nn", false), "dotted section form");
         assert!(!m.declares("proptest", false), "dev-dep needs include_dev");
         assert!(m.declares("proptest", true));
         let geo = m.deps.iter().find(|d| d.name == "lead-geo").expect("geo");
-        assert_eq!(geo.line, 9);
+        assert_eq!(geo.line, 10);
     }
 
     #[test]

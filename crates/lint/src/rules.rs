@@ -19,14 +19,23 @@
 //! (doc comments) applies to `lead_core`, `lead_nn`, and `lead_obs`. Test
 //! code (`#[cfg(test)]` regions; `tests/` and `benches/` trees are never
 //! scanned) is exempt from everything except waiver hygiene.
+//!
+//! The structural rules ride on the block IR ([`crate::blocks`]): R10
+//! (`unsafe-contract`) confines `unsafe` to the sanctioned-module allowlist
+//! ([`SANCTIONED_UNSAFE`]) and demands a `// SAFETY:` justification directly
+//! above every site, and R11 (`hot-loop-alloc`) bans allocation calls inside
+//! loop bodies of kernel-tagged modules (`[package.metadata.lead] kernel`).
 
+use std::collections::BTreeSet;
+
+use crate::blocks::ItemKind;
 use crate::diag::Diagnostic;
 use crate::manifest::Manifest;
-use crate::scan::Line;
+use crate::scan::{FileView, Line};
 use crate::workspace::{self, Import};
 
 /// The machine-readable rule identifiers, as used in waivers.
-pub const RULE_IDS: [&str; 10] = [
+pub const RULE_IDS: [&str; 12] = [
     "hash-order",
     "panic",
     "thread-spawn",
@@ -37,6 +46,8 @@ pub const RULE_IDS: [&str; 10] = [
     "layering",
     "error-contract",
     "scope-drift",
+    "unsafe-contract",
+    "hot-loop-alloc",
 ];
 
 /// A crate's role in the workspace, deciding which rule families apply.
@@ -179,6 +190,32 @@ const TIMING_FILES: [&str; 2] = ["crates/eval/src/timing.rs", "crates/obs/src/cl
 /// The one module allowed to create threads (R3 exemption).
 const PAR_FILES: [&str; 1] = ["crates/nn/src/par.rs"];
 
+/// One sanctioned-unsafe module: the only places R10 permits the `unsafe`
+/// keyword, each site still requiring a `// SAFETY:` justification.
+pub struct SanctionedUnsafe {
+    /// Workspace-relative directory of the crate hosting the module.
+    pub crate_dir: &'static str,
+    /// The module name as declared at the crate root (`pub mod simd;`).
+    pub module: &'static str,
+    /// Workspace-relative path prefix of the module's sources (a
+    /// `/`-suffixed directory).
+    pub path: &'static str,
+}
+
+/// The sanctioned-unsafe allowlist (R10). Growing it is a reviewed change
+/// to the lint gate, mirrored in DESIGN.md §10.
+pub const SANCTIONED_UNSAFE: [SanctionedUnsafe; 1] = [SanctionedUnsafe {
+    crate_dir: "crates/nn",
+    module: "simd",
+    path: "crates/nn/src/simd/",
+}];
+
+/// The sanctioned-unsafe entry covering `rel` (a workspace-relative source
+/// path), when any does.
+pub fn sanctioned_unsafe_file(rel: &str) -> Option<&'static SanctionedUnsafe> {
+    SANCTIONED_UNSAFE.iter().find(|s| rel.starts_with(s.path))
+}
+
 /// The classification-table entry for a crate directory (`""` = root).
 pub fn crate_info_by_dir(dir: &str) -> Option<&'static CrateInfo> {
     CRATES.iter().find(|c| c.dir == dir)
@@ -192,6 +229,7 @@ pub fn scope_paths() -> impl Iterator<Item = &'static str> {
         .chain(TIMING_FILES.iter())
         .chain(PAR_FILES.iter())
         .copied()
+        .chain(SANCTIONED_UNSAFE.iter().map(|s| s.path))
 }
 
 /// The classification of the crate owning `rel` (a workspace-relative source
@@ -231,18 +269,20 @@ pub struct FileChecks<'a> {
     pub manifests: &'a [Manifest],
 }
 
-/// Applies the single-file catalog to one file's preprocessed lines.
-pub fn apply(rel_path: &str, lines: &[Line]) -> Vec<Diagnostic> {
-    apply_file(rel_path, lines, None)
+/// Applies the single-file catalog to one file's scan view.
+pub fn apply(rel_path: &str, view: &FileView) -> Vec<Diagnostic> {
+    apply_file(rel_path, view, None)
 }
 
 /// Applies the full catalog — the single-file rules plus, when `checks` is
-/// present, the per-import layering rule (R7) — to one file.
+/// present, the per-import layering rule (R7) and the manifest-scoped R11 —
+/// to one file.
 pub fn apply_file(
     rel_path: &str,
-    lines: &[Line],
+    view: &FileView,
     checks: Option<&FileChecks<'_>>,
 ) -> Vec<Diagnostic> {
+    let lines = view.lines.as_slice();
     let mut diags = Vec::new();
     // Which (line index, rule) pairs got waived, to detect unused waivers.
     // Tracked per (line, rule) — a line carrying violations of two rules
@@ -251,7 +291,7 @@ pub fn apply_file(
     let mut used_waivers: Vec<(usize, String)> = Vec::new();
 
     for (i, line) in lines.iter().enumerate() {
-        let mut fire = |rule: &'static str, message: String| {
+        let mut fire = |rule: &'static str, col: usize, message: String| {
             if let Some(w) = waiver_for(lines, i, rule) {
                 used_waivers.push(w);
                 return;
@@ -259,6 +299,7 @@ pub fn apply_file(
             diags.push(Diagnostic {
                 file: rel_path.to_string(),
                 line: line.number,
+                col,
                 rule,
                 message,
                 snippet: line.raw.clone(),
@@ -272,7 +313,7 @@ pub fn apply_file(
                 if let Some(msg) =
                     workspace::check_import(rel_path, line.in_test, import, checks.manifests)
                 {
-                    fire("layering", msg);
+                    fire("layering", import.col, msg);
                 }
             }
         }
@@ -303,6 +344,32 @@ pub fn apply_file(
         }
     }
 
+    // Structural rules over the block IR (R10, R11). These fire at
+    // arbitrary line indexes, so they use an index-taking variant of the
+    // waiver-aware `fire` above.
+    {
+        let mut fire_at = |i: usize, col: usize, rule: &'static str, message: String| {
+            if let Some(w) = waiver_for(lines, i, rule) {
+                used_waivers.push(w);
+                return;
+            }
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: lines[i].number,
+                col,
+                rule,
+                message,
+                snippet: lines[i].raw.clone(),
+            });
+        };
+        check_unsafe_contract(rel_path, view, &mut fire_at);
+        if let Some(checks) = checks {
+            if kernel_tagged(rel_path, checks.manifests) {
+                check_hot_loop_alloc(view, &mut fire_at);
+            }
+        }
+    }
+
     check_waiver_hygiene(rel_path, lines, &used_waivers, &mut diags);
     diags
 }
@@ -329,11 +396,12 @@ fn waiver_for(lines: &[Line], i: usize, rule: &str) -> Option<(usize, String)> {
 // R1 — hash-order
 // ---------------------------------------------------------------------------
 
-fn check_hash_order(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_hash_order(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     for name in ["HashMap", "HashSet"] {
-        if find_word(code, name).is_some() {
+        if let Some(pos) = find_word(code, name) {
             fire(
                 "hash-order",
+                pos + 1,
                 format!(
                     "`{name}` in a result-affecting crate: iteration order is \
                      nondeterministic and breaks the parity contract — use \
@@ -348,11 +416,12 @@ fn check_hash_order(code: &str, fire: &mut impl FnMut(&'static str, String)) {
 // R2 — panic
 // ---------------------------------------------------------------------------
 
-fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     for pat in [".unwrap()", ".expect("] {
-        if code.contains(pat) {
+        if let Some(pos) = code.find(pat) {
             fire(
                 "panic",
+                pos + 1,
                 format!(
                     "`{pat}` in library code: degenerate GPS days must degrade to \
                      `Result`/`Option`, not panic"
@@ -361,16 +430,20 @@ fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, String)) {
         }
     }
     for mac in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
-        if find_word(code, mac.trim_end_matches('!')).is_some() && code.contains(mac) {
-            fire(
-                "panic",
-                format!("`{mac}` in library code: return a typed error instead"),
-            );
+        if find_word(code, mac.trim_end_matches('!')).is_some() {
+            if let Some(pos) = code.find(mac) {
+                fire(
+                    "panic",
+                    pos + 1,
+                    format!("`{mac}` in library code: return a typed error instead"),
+                );
+            }
         }
     }
     if let Some(idx) = find_literal_index(code) {
         fire(
             "panic",
+            idx.0 + 1,
             format!(
                 "indexing by literal `{}` in library code: panics when the \
                  collection is shorter — use `.get(…)`, `.first()`, or destructuring",
@@ -407,11 +480,12 @@ fn find_literal_index(code: &str) -> Option<(usize, usize)> {
 // R3 — thread-spawn
 // ---------------------------------------------------------------------------
 
-fn check_thread_spawn(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_thread_spawn(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
-        if code.contains(pat) {
+        if let Some(pos) = code.find(pat) {
             fire(
                 "thread-spawn",
+                pos + 1,
                 format!(
                     "`{pat}` outside `lead_nn::par`: all parallelism must go \
                      through the fixed-order reduction layer"
@@ -429,7 +503,7 @@ const INT_TYPES: [&str; 12] = [
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
 ];
 
-fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     let mut from = 0usize;
     while let Some(pos) = find_word_from(code, "as", from) {
         from = pos + 2;
@@ -444,6 +518,7 @@ fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, String)) {
         if INT_TYPES.contains(&target) {
             fire(
                 "float-cast",
+                pos + 1,
                 format!(
                     "`as {target}` in a numeric kernel: `as` truncates floats \
                      silently (NaN → 0) — use a guarded conversion helper \
@@ -453,6 +528,7 @@ fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, String)) {
         } else if target == "f32" && !int_source_exempt(before) {
             fire(
                 "float-cast",
+                pos + 1,
                 format!(
                     "`… as f32` in a numeric kernel narrows silently — funnel \
                      through `lead_nn::num` (finite/exactness-guarded) or cast \
@@ -481,7 +557,7 @@ fn int_source_exempt(before: &str) -> bool {
 // R4b — float-eq
 // ---------------------------------------------------------------------------
 
-fn check_float_eq(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_float_eq(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     let bytes = code.as_bytes();
     for i in 0..bytes.len().saturating_sub(1) {
         let two = &bytes[i..i + 2];
@@ -495,6 +571,7 @@ fn check_float_eq(code: &str, fire: &mut impl FnMut(&'static str, String)) {
         if token_is_floaty(first_operand(rhs)) || token_is_floaty(&last_operand(lhs)) {
             fire(
                 "float-eq",
+                i + 1,
                 "exact float comparison in a numeric kernel: `==`/`!=` on floats \
                  is brittle — compare with a tolerance, use `is_finite()`/\
                  `is_sign_positive()`, or compare bit patterns explicitly"
@@ -557,11 +634,12 @@ fn token_is_floaty(tok: &str) -> bool {
 // R5 — wall-clock
 // ---------------------------------------------------------------------------
 
-fn check_wall_clock(code: &str, fire: &mut impl FnMut(&'static str, String)) {
+fn check_wall_clock(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
     for pat in ["Instant", "SystemTime"] {
-        if find_word(code, pat).is_some() {
+        if let Some(pos) = find_word(code, pat) {
             fire(
                 "wall-clock",
+                pos + 1,
                 format!(
                     "`{pat}` in result-affecting code: wall-clock reads make runs \
                      irreproducible — timing belongs in `lead_eval::timing` \
@@ -587,11 +665,12 @@ const DOC_ITEMS: [&str; 8] = [
     "pub unsafe ",
 ];
 
-fn check_missing_doc(lines: &[Line], i: usize, fire: &mut impl FnMut(&'static str, String)) {
+fn check_missing_doc(lines: &[Line], i: usize, fire: &mut impl FnMut(&'static str, usize, String)) {
     let trimmed = lines[i].code.trim_start();
     if !DOC_ITEMS.iter().any(|p| trimmed.starts_with(p)) {
         return;
     }
+    let col = lines[i].code.len() - trimmed.len() + 1;
     // Walk upward over attributes; the first non-attribute line decides.
     let mut j = i;
     while j > 0 {
@@ -609,6 +688,7 @@ fn check_missing_doc(lines: &[Line], i: usize, fire: &mut impl FnMut(&'static st
     let item = trimmed.split('(').next().unwrap_or(trimmed).trim();
     fire(
         "missing-doc",
+        col,
         format!("public item `{item}` has no doc comment (R6: every `pub` item in core/nn is documented)"),
     );
 }
@@ -621,12 +701,13 @@ fn check_error_contract(
     rel_path: &str,
     lines: &[Line],
     i: usize,
-    fire: &mut impl FnMut(&'static str, String),
+    fire: &mut impl FnMut(&'static str, usize, String),
 ) {
     let trimmed = lines[i].code.trim_start();
     if !(trimmed.starts_with("pub fn ") || trimmed.starts_with("pub const fn ")) {
         return;
     }
+    let col = lines[i].code.len() - trimmed.len() + 1;
     let sig = signature_text(lines, i);
     let Some(ret) = return_type(&sig) else {
         return;
@@ -641,6 +722,7 @@ fn check_error_contract(
         if banned {
             fire(
                 "error-contract",
+                col,
                 format!(
                     "`pub fn` returns `Result<_, {err}>`: stringly/boxed errors are \
                      unmatchable — use a typed error (`LeadError` or a crate-local enum)"
@@ -651,6 +733,7 @@ fn check_error_contract(
     if is_doc_scope(rel_path) && !has_errors_doc(lines, i) {
         fire(
             "error-contract",
+            col,
             "`pub fn` returning `Result` has no `# Errors` doc section: every fallible \
              public API documents its failure modes"
                 .to_string(),
@@ -758,6 +841,261 @@ fn has_errors_doc(lines: &[Line], i: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// R10 — unsafe-contract (per-file half; the crate-attr half lives in
+// workspace.rs)
+// ---------------------------------------------------------------------------
+
+/// The outcome of looking for the `// SAFETY:` comment above a site.
+enum Safety {
+    /// A non-empty justification was found.
+    Justified,
+    /// A `// SAFETY:` marker exists but carries no text.
+    Empty,
+    /// No `// SAFETY:` comment directly above the site.
+    Missing,
+}
+
+fn check_unsafe_contract(
+    rel_path: &str,
+    view: &FileView,
+    fire: &mut impl FnMut(usize, usize, &'static str, String),
+) {
+    let lines = view.lines.as_slice();
+    let sanctioned = sanctioned_unsafe_file(rel_path);
+    for site in &view.blocks.unsafe_sites {
+        let i = site.line - 1;
+        if lines.get(i).is_none_or(|l| l.in_test) {
+            continue;
+        }
+        if sanctioned.is_none() {
+            fire(
+                i,
+                site.col,
+                "unsafe-contract",
+                format!(
+                    "`unsafe` outside the sanctioned allowlist — only {} may contain \
+                     unsafe code (R10); keep this safe or extend \
+                     rules::SANCTIONED_UNSAFE in a reviewed change",
+                    sanctioned_list()
+                ),
+            );
+            continue;
+        }
+        match safety_state(lines, i) {
+            Safety::Justified => {}
+            Safety::Empty => fire(
+                i,
+                site.col,
+                "unsafe-contract",
+                "the `// SAFETY:` comment above this `unsafe` is empty — state the \
+                 invariant that makes the operation sound"
+                    .to_string(),
+            ),
+            Safety::Missing => fire(
+                i,
+                site.col,
+                "unsafe-contract",
+                "`unsafe` without a `// SAFETY:` comment directly above — every \
+                 sanctioned site documents why it is sound"
+                    .to_string(),
+            ),
+        }
+    }
+    // `#[allow(unsafe_code)]` may only re-open a sanctioned module, and only
+    // as an attribute on that module's declaration at its crate root.
+    if sanctioned.is_none() {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(pos) = line.code.find("allow(unsafe_code)") else {
+                continue;
+            };
+            let legal = SANCTIONED_UNSAFE.iter().any(|s| {
+                rel_path == format!("{}/src/lib.rs", s.crate_dir)
+                    && view.blocks.items.iter().any(|item| {
+                        item.kind == ItemKind::Mod
+                            && item.name.as_deref() == Some(s.module)
+                            && item.attr_lines.contains(&line.number)
+                    })
+            });
+            if !legal {
+                fire(
+                    i,
+                    pos + 1,
+                    "unsafe-contract",
+                    format!(
+                        "`allow(unsafe_code)` outside the sanctioned-module \
+                         declarations — only the crate-root declaration of {} may \
+                         re-open unsafe",
+                        sanctioned_list()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Renders the sanctioned-module allowlist for diagnostics.
+fn sanctioned_list() -> String {
+    SANCTIONED_UNSAFE
+        .iter()
+        .map(|s| format!("`{}::{}`", s.crate_dir, s.module))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Looks for the `// SAFETY:` comment covering the site at line index `i`:
+/// on the site's own line, or directly above it with attribute lines and
+/// comment continuation lines treated as transparent.
+fn safety_state(lines: &[Line], i: usize) -> Safety {
+    if let Some(state) = safety_in_comment(&lines[i].comment) {
+        return state;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code_t = l.code.trim();
+        // Attribute lines (`#[target_feature(…)]`, a split `)]`) sit between
+        // the SAFETY comment and the `unsafe fn` — walk through them.
+        if code_t.starts_with('#') || code_t == ")]" {
+            continue;
+        }
+        if !code_t.is_empty() {
+            break; // a code line separates the site from any comment above
+        }
+        if let Some(state) = safety_in_comment(&l.comment) {
+            return state;
+        }
+        if l.raw.is_empty() {
+            break; // a blank line detaches the comment block
+        }
+        // A non-SAFETY comment line: keep walking, the marker may sit at
+        // the top of a multi-line justification.
+    }
+    Safety::Missing
+}
+
+/// Classifies one line's comment channel as a SAFETY marker, if it is one.
+fn safety_in_comment(comment: &str) -> Option<Safety> {
+    let rest = comment.trim().strip_prefix("SAFETY:")?;
+    Some(if rest.trim().is_empty() {
+        Safety::Empty
+    } else {
+        Safety::Justified
+    })
+}
+
+// ---------------------------------------------------------------------------
+// R11 — hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+/// Whether `rel_path` lies in a kernel-tagged module: its owning manifest
+/// declares `[package.metadata.lead] kernel = "true"` (whole crate) or a
+/// comma-separated list of top-level modules (`kernel = "simd"` covers
+/// `src/simd.rs` and `src/simd/**`).
+fn kernel_tagged(rel_path: &str, manifests: &[Manifest]) -> bool {
+    let Some(m) = workspace::manifest_for(rel_path, manifests) else {
+        return false;
+    };
+    let Some((val, _)) = m.lead_kernel.as_ref() else {
+        return false;
+    };
+    if val == "true" {
+        return true;
+    }
+    let src = if m.rel_dir.is_empty() {
+        "src/".to_string()
+    } else {
+        format!("{}/src/", m.rel_dir)
+    };
+    let Some(rest) = rel_path.strip_prefix(src.as_str()) else {
+        return false;
+    };
+    val.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .any(|module| {
+            rest.strip_prefix(module)
+                .is_some_and(|r| r == ".rs" || r.starts_with('/'))
+        })
+}
+
+/// Method-call allocation patterns (matched after a `.`).
+const ALLOC_METHODS: [&str; 6] = [
+    ".push(",
+    ".collect(",
+    ".collect::<",
+    ".to_vec()",
+    ".clone()",
+    ".to_owned()",
+];
+
+/// Path/macro allocation patterns (matched at an identifier boundary).
+const ALLOC_PATHS: [&str; 7] = [
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    "String::new",
+    "String::from",
+    "vec!",
+    "format!",
+];
+
+fn check_hot_loop_alloc(
+    view: &FileView,
+    fire: &mut impl FnMut(usize, usize, &'static str, String),
+) {
+    // Nested loops cover overlapping ranges; dedupe so a line fires once.
+    let mut loop_lines: BTreeSet<usize> = BTreeSet::new();
+    for span in view.blocks.loop_spans() {
+        for ln in span.open_line..=span.close_line {
+            loop_lines.insert(ln);
+        }
+    }
+    for &ln in &loop_lines {
+        let Some(line) = view.lines.get(ln - 1) else {
+            continue;
+        };
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        for pat in ALLOC_METHODS {
+            if let Some(pos) = code.find(pat) {
+                fire(
+                    ln - 1,
+                    pos + 2,
+                    "hot-loop-alloc",
+                    hot_loop_message(pat.trim_start_matches('.')),
+                );
+            }
+        }
+        for pat in ALLOC_PATHS {
+            if let Some(pos) = code.find(pat) {
+                let boundary = pos == 0 || !is_ident_byte(code.as_bytes()[pos - 1]);
+                if boundary {
+                    fire(ln - 1, pos + 1, "hot-loop-alloc", hot_loop_message(pat));
+                }
+            }
+        }
+    }
+}
+
+fn hot_loop_message(what: &str) -> String {
+    let what = what
+        .trim_end_matches('<')
+        .trim_end_matches(':')
+        .trim_end_matches('(');
+    format!(
+        "`{what}` allocates inside a loop body of a kernel-tagged module (R11) — \
+         hoist the allocation out of the hot loop, reuse a buffer, or waive with \
+         a justification"
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Waiver hygiene
 // ---------------------------------------------------------------------------
 
@@ -774,6 +1112,7 @@ fn check_waiver_hygiene(
                     diags.push(Diagnostic {
                         file: rel_path.to_string(),
                         line: line.number,
+                        col: 1,
                         rule: "bad-waiver",
                         message: format!(
                             "waiver names unknown rule `{rule}` (known: {})",
@@ -787,6 +1126,7 @@ fn check_waiver_hygiene(
                     diags.push(Diagnostic {
                         file: rel_path.to_string(),
                         line: line.number,
+                        col: 1,
                         rule: "bad-waiver",
                         message: format!(
                             "waiver for `{rule}` carries no justification — every \
@@ -800,6 +1140,7 @@ fn check_waiver_hygiene(
                     diags.push(Diagnostic {
                         file: rel_path.to_string(),
                         line: line.number,
+                        col: 1,
                         rule: "unused-waiver",
                         message: format!("waiver for `{rule}` matches no violation — remove it"),
                         snippet: line.raw.clone(),

@@ -8,7 +8,28 @@
 //! char literals become `''`, and comments are routed to a separate
 //! per-line comment channel that the waiver parser reads.
 
+use crate::blocks::{self, FileBlocks};
 use crate::lex::{self, TokenKind};
+
+/// The full per-file scan input: the per-line code/comment view plus the
+/// block-aware IR, built from a single tokenize pass.
+#[derive(Debug, Clone)]
+pub struct FileView {
+    /// Preprocessed lines (code/comment channels, test regions, waivers).
+    pub lines: Vec<Line>,
+    /// The block IR: brace tree, items, loop spans, unsafe sites.
+    pub blocks: FileBlocks,
+}
+
+/// Tokenizes `source` once and builds both the per-line view and the block
+/// IR over the same token stream.
+pub fn preprocess_file(source: &str) -> FileView {
+    let tokens = lex::tokenize(source);
+    FileView {
+        lines: lines_from(source, &tokens),
+        blocks: blocks::build(&tokens),
+    }
+}
 
 /// One preprocessed source line.
 #[derive(Debug, Clone)]
@@ -52,7 +73,12 @@ pub struct Waiver {
 /// Splits `source` into preprocessed [`Line`]s.
 pub fn preprocess(source: &str) -> Vec<Line> {
     let tokens = lex::tokenize(source);
-    let stripped = strip_lines(source, &tokens);
+    lines_from(source, &tokens)
+}
+
+/// Replays an already-tokenized `source` into preprocessed [`Line`]s.
+fn lines_from(source: &str, tokens: &[lex::Token<'_>]) -> Vec<Line> {
+    let stripped = strip_lines(source, tokens);
 
     let mut out = Vec::with_capacity(stripped.len());
     let mut depth: i64 = 0;

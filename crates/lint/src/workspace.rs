@@ -24,13 +24,15 @@ use crate::lex::{self, TokenKind};
 use crate::manifest::Manifest;
 use crate::rules::{self, Class};
 
-/// One `use`/`extern crate` import: the first path segment and its line.
+/// One `use`/`extern crate` import: the first path segment and its location.
 #[derive(Debug, Clone)]
 pub struct Import {
     /// The leading path segment (`lead_nn` in `use lead_nn::par::par_map;`).
     pub root: String,
     /// 1-based line of the `use`/`extern crate` keyword.
     pub line: usize,
+    /// 1-based byte column of the `use`/`extern crate` keyword.
+    pub col: usize,
 }
 
 /// Extracts every import root from `source` by walking the token stream
@@ -77,6 +79,7 @@ pub fn imports(source: &str) -> Vec<Import> {
         out.push(Import {
             root: root.to_string(),
             line: tok.line,
+            col: tok.col,
         });
     }
     out
@@ -141,7 +144,7 @@ pub fn check_import(
 
 /// The manifest owning `rel_path` (longest matching directory prefix; the
 /// root manifest owns `src/`).
-fn manifest_for<'m>(rel_path: &str, manifests: &'m [Manifest]) -> Option<&'m Manifest> {
+pub(crate) fn manifest_for<'m>(rel_path: &str, manifests: &'m [Manifest]) -> Option<&'m Manifest> {
     let mut best: Option<&Manifest> = None;
     for m in manifests {
         let owns = if m.rel_dir.is_empty() {
@@ -165,6 +168,7 @@ pub fn workspace_checks(root: &Path, manifests: &[Manifest]) -> Vec<Diagnostic> 
     check_edges(manifests, &mut diags);
     check_cycles(manifests, &mut diags);
     check_classes(manifests, &mut diags);
+    check_crate_attrs(root, manifests, &mut diags);
     // Stale-path completeness only applies to the real workspace (root
     // package `lead`): synthetic fixture workspaces are deliberately tiny.
     let is_real = manifests
@@ -210,6 +214,7 @@ fn check_edges(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
                 diags.push(Diagnostic {
                     file: m.rel_path.clone(),
                     line: dep.line,
+                    col: 1,
                     rule: "layering",
                     message: format!(
                         "`{pkg}` may not depend on `{}` — {hint} (see the sanctioned \
@@ -249,6 +254,7 @@ fn check_cycles(manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
             diags.push(Diagnostic {
                 file,
                 line,
+                col: 1,
                 rule: "layering",
                 message: format!(
                     "dependency cycle in the workspace graph: {}",
@@ -351,9 +357,107 @@ fn drift(m: &Manifest, line: usize, message: String) -> Diagnostic {
     Diagnostic {
         file: m.rel_path.clone(),
         line,
+        col: 1,
         rule: "scope-drift",
         message,
         snippet: m.rel_dir.clone(),
+    }
+}
+
+/// R10 (`unsafe-contract`, crate-attr half): every library-class crate must
+/// *actually* carry the crate-root lints the contract assumes. Crates
+/// outside the sanctioned-unsafe allowlist need `#![forbid(unsafe_code)]`;
+/// crates hosting a sanctioned module downgrade to `#![deny(unsafe_code)]`
+/// (so `#[allow(unsafe_code)]` can re-open exactly the sanctioned module)
+/// and must not keep `forbid` (which cannot be overridden). Both kinds need
+/// `#![deny(missing_docs)]`. The audit is manifest-driven: crates without a
+/// resolvable library class (fixture workspaces without metadata) are
+/// skipped, as are crates whose `src/lib.rs` cannot be read.
+fn check_crate_attrs(root: &Path, manifests: &[Manifest], diags: &mut Vec<Diagnostic>) {
+    for m in manifests.iter().filter(|m| !m.vendored) {
+        let Some(pkg) = m.package.as_deref() else {
+            continue;
+        };
+        let class = match rules::crate_info_by_dir(&m.rel_dir) {
+            Some(info) => info.class,
+            None => match m.lead_class.as_ref().and_then(|(c, _)| {
+                Class::ALL
+                    .iter()
+                    .find(|k| k.as_str() == c.as_str())
+                    .copied()
+            }) {
+                Some(c) => c,
+                None => continue,
+            },
+        };
+        if !matches!(class, Class::Lib | Class::ResultLib) {
+            continue;
+        }
+        let lib_rel = if m.rel_dir.is_empty() {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{}/src/lib.rs", m.rel_dir)
+        };
+        let Ok(source) = std::fs::read_to_string(root.join(&lib_rel)) else {
+            continue;
+        };
+        // Attr presence is checked on the comment-stripped code view with
+        // whitespace compacted, so a doc comment *describing* the attribute
+        // never satisfies the audit.
+        let code: String = crate::scan::preprocess(&source)
+            .iter()
+            .flat_map(|l| l.code.chars())
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let has = |attr: &str| code.contains(attr);
+        let sanctioned = rules::SANCTIONED_UNSAFE
+            .iter()
+            .find(|s| s.crate_dir == m.rel_dir);
+        let mut fire = |message: String| {
+            diags.push(Diagnostic {
+                file: lib_rel.clone(),
+                line: 1,
+                col: 1,
+                rule: "unsafe-contract",
+                message,
+                snippet: format!("crate `{pkg}`"),
+            });
+        };
+        match sanctioned {
+            None => {
+                if !has("#![forbid(unsafe_code)]") {
+                    fire(format!(
+                        "library crate `{pkg}` must carry `#![forbid(unsafe_code)]` at the \
+                         crate root — unsafe is sanctioned only inside the allowlisted \
+                         modules (rules::SANCTIONED_UNSAFE)"
+                    ));
+                }
+            }
+            Some(s) => {
+                if has("#![forbid(unsafe_code)]") {
+                    fire(format!(
+                        "`{pkg}` hosts the sanctioned unsafe module `{}`: use \
+                         `#![deny(unsafe_code)]` at the crate root (with \
+                         `#[allow(unsafe_code)]` on the module) — `forbid` cannot be \
+                         overridden",
+                        s.module
+                    ));
+                } else if !has("#![deny(unsafe_code)]") {
+                    fire(format!(
+                        "`{pkg}` hosts the sanctioned unsafe module `{}` and must carry \
+                         `#![deny(unsafe_code)]` at the crate root so unsafe stays \
+                         opt-in per module",
+                        s.module
+                    ));
+                }
+            }
+        }
+        if !has("#![deny(missing_docs)]") && !has("#![forbid(missing_docs)]") {
+            fire(format!(
+                "library crate `{pkg}` must carry `#![deny(missing_docs)]` at the \
+                 crate root"
+            ));
+        }
     }
 }
 
@@ -363,6 +467,7 @@ fn check_completeness(root: &Path, manifests: &[Manifest], diags: &mut Vec<Diagn
     let root_drift = |message: String| Diagnostic {
         file: "Cargo.toml".to_string(),
         line: 1,
+        col: 1,
         rule: "scope-drift",
         message,
         snippet: "[workspace]".to_string(),

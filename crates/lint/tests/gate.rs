@@ -45,8 +45,8 @@ fn seeded_violation_fails_the_gate_with_file_line_diagnostics() {
     let (code, stdout) = run_gate(&root);
     assert_eq!(code, 1, "a violation must fail CI; output:\n{stdout}");
     assert!(
-        stdout.contains("crates/core/src/lib.rs:4: [panic]"),
-        "diagnostic must carry file:line and the rule id:\n{stdout}"
+        stdout.contains("crates/core/src/lib.rs:4:6: [panic]"),
+        "diagnostic must carry file:line:col and the rule id:\n{stdout}"
     );
     assert!(
         stdout.contains("o.unwrap()"),

@@ -38,6 +38,13 @@ fn crate_manifest(root: &Path, dir: &str, package: &str, class: &str, deps: &[&s
     write(&root.join(dir).join("Cargo.toml"), &toml);
 }
 
+/// A classified fixture crate root carrying the crate-attr discipline the
+/// R10 audit demands of library crates, so layering/scope tests stay focused
+/// on their own rule.
+fn lib_rs(doc: &str) -> String {
+    format!("//! {doc}\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n")
+}
+
 fn run(root: &Path, extra: &[&str]) -> (i32, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_lead-lint"))
         .arg("--root")
@@ -65,15 +72,15 @@ fn undeclared_import_fires_layering() {
     let root = ws("v2-undeclared");
     crate_manifest(&root, "crates/core", "lead-core", "result-lib", &[]);
     crate_manifest(&root, "crates/geo", "lead-geo", "lib", &[]);
-    write(&root.join("crates/geo/src/lib.rs"), "//! Geo.\n");
+    write(&root.join("crates/geo/src/lib.rs"), &lib_rs("Geo."));
     write(
         &root.join("crates/core/src/lib.rs"),
-        "//! Core.\n\nuse lead_geo::point;\n",
+        &format!("{}\nuse lead_geo::point;\n", lib_rs("Core.")),
     );
     let diags = lead_lint::scan_workspace(&root).expect("scan");
     assert_eq!(
         tuples(&diags),
-        vec![("crates/core/src/lib.rs".to_string(), 3, "layering")],
+        vec![("crates/core/src/lib.rs".to_string(), 5, "layering")],
         "{diags:?}"
     );
     assert!(diags[0].message.contains("without a declared dependency"));
@@ -91,10 +98,10 @@ fn declared_import_on_a_sanctioned_edge_is_clean() {
         &["lead-geo"],
     );
     crate_manifest(&root, "crates/geo", "lead-geo", "lib", &[]);
-    write(&root.join("crates/geo/src/lib.rs"), "//! Geo.\n");
+    write(&root.join("crates/geo/src/lib.rs"), &lib_rs("Geo."));
     write(
         &root.join("crates/core/src/lib.rs"),
-        "//! Core.\n\nuse lead_geo::point;\n",
+        &format!("{}\nuse lead_geo::point;\n", lib_rs("Core.")),
     );
     let diags = lead_lint::scan_workspace(&root).expect("scan");
     assert!(diags.is_empty(), "{diags:?}");
@@ -111,8 +118,8 @@ fn core_depending_on_eval_inverts_the_dag_and_fails() {
         &["lead-eval"],
     );
     crate_manifest(&root, "crates/eval", "lead-eval", "result-lib", &[]);
-    write(&root.join("crates/core/src/lib.rs"), "//! Core.\n");
-    write(&root.join("crates/eval/src/lib.rs"), "//! Eval.\n");
+    write(&root.join("crates/core/src/lib.rs"), &lib_rs("Core."));
+    write(&root.join("crates/eval/src/lib.rs"), &lib_rs("Eval."));
     let diags = lead_lint::scan_workspace(&root).expect("scan");
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert_eq!(diags[0].rule, "layering");
@@ -125,8 +132,8 @@ fn dependency_cycle_is_reported_once() {
     let root = ws("v2-cycle");
     crate_manifest(&root, "crates/alpha", "alpha", "lib", &["beta"]);
     crate_manifest(&root, "crates/beta", "beta", "lib", &["alpha"]);
-    write(&root.join("crates/alpha/src/lib.rs"), "//! A.\n");
-    write(&root.join("crates/beta/src/lib.rs"), "//! B.\n");
+    write(&root.join("crates/alpha/src/lib.rs"), &lib_rs("A."));
+    write(&root.join("crates/beta/src/lib.rs"), &lib_rs("B."));
     let diags = lead_lint::scan_workspace(&root).expect("scan");
     assert_eq!(diags.len(), 1, "one cycle, one diagnostic: {diags:?}");
     assert_eq!(diags[0].rule, "layering");
@@ -231,7 +238,7 @@ fn unclassified_new_crate_fires_scope_drift() {
 fn metadata_class_disagreeing_with_the_table_fires_scope_drift() {
     let root = ws("v2-mismatch");
     crate_manifest(&root, "crates/core", "lead-core", "lib", &[]);
-    write(&root.join("crates/core/src/lib.rs"), "//! Core.\n");
+    write(&root.join("crates/core/src/lib.rs"), &lib_rs("Core."));
     let diags = lead_lint::scan_workspace(&root).expect("scan");
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert_eq!(diags[0].rule, "scope-drift");
@@ -291,10 +298,11 @@ fn r1_to_r6_regression_workspace_pins_rules_lines_and_order() {
 }
 
 #[test]
-fn same_line_diagnostics_sort_by_rule_id() {
+fn same_line_diagnostics_sort_by_col_then_rule() {
     let root = ws("v2-sort");
-    // One line violating two rules: `panic` and `float-cast` both fire at
-    // nn/src/lib.rs:4, and `float-cast` < `panic` lexicographically.
+    // One line violating two rules: `panic` fires at the `.unwrap()` (col
+    // 14) and `float-cast` at the `as` (col 32); with columns in the sort
+    // key the earlier column now comes first, not the smaller rule id.
     write(
         &root.join("crates/nn/src/lib.rs"),
         "//! Sort fixture.\n\nfn g(v: &[f32]) -> i32 {\n    v.first().unwrap().round() as i32\n}\n",
@@ -303,10 +311,15 @@ fn same_line_diagnostics_sort_by_rule_id() {
     assert_eq!(
         tuples(&diags),
         vec![
-            ("crates/nn/src/lib.rs".to_string(), 4, "float-cast"),
             ("crates/nn/src/lib.rs".to_string(), 4, "panic"),
+            ("crates/nn/src/lib.rs".to_string(), 4, "float-cast"),
         ],
         "{diags:?}"
+    );
+    assert_eq!(
+        diags.iter().map(|d| d.col).collect::<Vec<_>>(),
+        vec![14, 32],
+        "columns point at the offending tokens: {diags:?}"
     );
 }
 
@@ -397,7 +410,7 @@ fn json_report_is_byte_stable_across_runs_and_fails_on_diagnostics() {
         out1, out2,
         "two runs over the same tree must emit identical bytes"
     );
-    assert!(out1.starts_with("{\"version\":1,\"count\":1,\"diagnostics\":[{\"file\":\"crates/core/src/lib.rs\",\"line\":4,\"rule\":\"panic\","), "{out1}");
+    assert!(out1.starts_with("{\"version\":1,\"count\":1,\"diagnostics\":[{\"file\":\"crates/core/src/lib.rs\",\"line\":4,\"col\":6,\"rule\":\"panic\","), "{out1}");
     assert!(out1.ends_with("]}\n"), "{out1}");
 }
 
@@ -438,7 +451,7 @@ fn new_diagnostic_fails_despite_a_baseline() {
     );
     assert_eq!(code, 1, "a new diagnostic must fail:\n{stdout}");
     assert!(
-        stdout.contains("crates/core/src/lib.rs:4: [panic]"),
+        stdout.contains("crates/core/src/lib.rs:4:6: [panic]"),
         "{stdout}"
     );
     // The unmatched entry is also stale.
@@ -478,8 +491,14 @@ fn list_rules_includes_the_cross_file_families() {
         .expect("run lead-lint");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     let rules: Vec<&str> = stdout.lines().collect();
-    assert_eq!(rules.len(), 10, "{stdout}");
-    for id in ["layering", "error-contract", "scope-drift"] {
+    assert_eq!(rules.len(), 12, "{stdout}");
+    for id in [
+        "layering",
+        "error-contract",
+        "scope-drift",
+        "unsafe-contract",
+        "hot-loop-alloc",
+    ] {
         assert!(rules.contains(&id), "{stdout}");
     }
 }

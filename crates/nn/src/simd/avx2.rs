@@ -1,0 +1,65 @@
+//! The 256-bit AVX2 backend (x86-64 only).
+//!
+//! Bit-identity with [`super::scalar`] holds by construction: the vector
+//! accumulator performs the same per-lane `mul` + `add` pair on the same
+//! [`LANES`]-wide chunks (separate `_mm256_mul_ps`/`_mm256_add_ps` — never
+//! FMA, whose single rounding would diverge from the reference), the lane
+//! reduction folds the stored accumulator in the same ascending lane
+//! order, and the tail runs the same sequential scalar loop.
+//!
+//! All unsafety is confined to this file and justified per site; the safe
+//! dispatch wrapper in [`super`] only reaches it after feature detection.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::{
+    _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+};
+
+use super::LANES;
+
+/// Dot product over the common prefix of `a` and `b`, matching the scalar
+/// reference bit-for-bit.
+///
+/// # Safety
+///
+/// The running CPU must support AVX2. The only caller is the `Backend`
+/// dispatcher, which guards this with `is_x86_feature_detected!("avx2")`.
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// executing it on a CPU without AVX2 would be undefined behaviour, so the
+// precondition above is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    // Register-only intrinsics (`setzero`, `mul`, `add`) are safe fns in a
+    // `target_feature(avx2)` context; only the memory-touching loads and
+    // stores below need unsafe.
+    let mut acc = _mm256_setzero_ps();
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
+        // SAFETY: `ka` and `kb` come from `chunks_exact(LANES)`, so each
+        // points at exactly LANES = 8 initialised, readable `f32`s — the
+        // full 256-bit span `_mm256_loadu_ps` reads. `loadu` permits
+        // unaligned addresses, so slice alignment is sufficient.
+        let (va, vb) = unsafe { (_mm256_loadu_ps(ka.as_ptr()), _mm256_loadu_ps(kb.as_ptr())) };
+        // Separate mul + add (never FMA) keeps rounding identical to the
+        // scalar reference.
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    let mut lanes = [0.0f32; LANES];
+    // SAFETY: `lanes` is a LANES = 8 element `f32` array, exactly the
+    // 256 bits `_mm256_storeu_ps` writes; `storeu` permits unaligned
+    // addresses, so the array's natural alignment is sufficient.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+    // Identical fixed-order reduction and tail to `scalar::dot`.
+    let mut out = 0.0f32;
+    for &lane in &lanes {
+        out += lane;
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        out += x * y;
+    }
+    out
+}

@@ -1,0 +1,149 @@
+//! Runtime-dispatched SIMD kernels with a bit-identity contract.
+//!
+//! This is the workspace's only sanctioned-unsafe module (lint rule R10):
+//! the crate root re-opens `unsafe_code` for `simd` alone, and every
+//! `unsafe` site below carries a `// SAFETY:` justification that the lint
+//! gate verifies mechanically.
+//!
+//! # Determinism contract
+//!
+//! Every backend must return **bit-identical** results to [`scalar`], the
+//! safe reference implementation, on every input — not merely close. The
+//! reference therefore fixes the floating-point evaluation order that
+//! vector units natively produce: [`LANES`]-wide blocked accumulation over
+//! full chunks, a fixed-order sequential reduction of the lane
+//! accumulators, then a sequential tail. The AVX2 backend mirrors that
+//! order exactly, using separate multiply and add instructions (never FMA,
+//! which would change rounding). `tests/simd_parity.rs` pins the contract
+//! with `f32::to_bits` comparisons across backends.
+//!
+//! # Dispatch
+//!
+//! [`Backend::select`] probes the CPU once at runtime and picks the widest
+//! backend available; callers never name a concrete backend unless they are
+//! testing parity. All dispatch is safe: the unsafe `target_feature` entry
+//! points are private to their backend modules, and the only way to obtain
+//! [`Backend::Avx2`] is through feature detection.
+
+mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+/// The blocked accumulation width shared by every backend (f32 lanes in a
+/// 256-bit vector). Part of the bit-identity contract: changing it changes
+/// the summation order, hence the results.
+pub const LANES: usize = 8;
+
+/// A dot-product kernel backend.
+///
+/// Implementations promise bit-identical output to the scalar reference on
+/// every input (see the module docs for the fixed evaluation order).
+pub trait Kernel {
+    /// A stable, human-readable backend name for logs and fingerprints.
+    fn name(&self) -> &'static str;
+
+    /// The dot product over the common prefix of `a` and `b` (trailing
+    /// elements of the longer slice are ignored; empty input yields `0.0`).
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32;
+}
+
+/// An available kernel backend, selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The safe scalar reference implementation (always available).
+    Scalar,
+    /// 256-bit AVX2 (x86-64 only; constructed only after feature detection).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Backend {
+    /// Picks the widest backend the running CPU supports. Deterministic for
+    /// a given machine; the result is bit-identical across backends either
+    /// way, so selection never changes observable output.
+    pub fn select() -> Backend {
+        match Backend::try_avx2() {
+            Some(b) => b,
+            None => Backend::Scalar,
+        }
+    }
+
+    /// The AVX2 backend, when the running CPU supports it. `None` on other
+    /// architectures or older x86-64 parts; this constructor is the only
+    /// source of [`Backend::Avx2`], which is what makes dispatch safe.
+    pub fn try_avx2() -> Option<Backend> {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(Backend::Avx2);
+        }
+        None
+    }
+
+    /// Every backend available on the running CPU, scalar first. Parity
+    /// tests iterate this to compare all implementations pairwise.
+    pub fn available() -> Vec<Backend> {
+        let mut out = vec![Backend::Scalar];
+        if let Some(b) = Backend::try_avx2() {
+            out.push(b);
+        }
+        out
+    }
+}
+
+impl Kernel for Backend {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Backend::Scalar => scalar::dot(a, b),
+            // SAFETY: `Backend::Avx2` is only ever constructed by
+            // `Backend::try_avx2` after `is_x86_feature_detected!("avx2")`
+            // confirmed the running CPU executes AVX2 instructions, which is
+            // the sole precondition of `avx2::dot`.
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe { avx2::dot(a, b) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_dot_matches_naive_on_exact_inputs() {
+        // Powers of two: every evaluation order is exact, so the blocked
+        // reference must equal the naive sum bit-for-bit.
+        let a: Vec<f32> = (0..19).map(|i| (i % 8) as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..19).map(|i| (i % 4) as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(Backend::Scalar.dot(&a, &b).to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn dot_handles_empty_and_mismatched_lengths() {
+        assert_eq!(Backend::Scalar.dot(&[], &[]).to_bits(), 0.0f32.to_bits());
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [4.0f32, 5.0];
+        // Common prefix only: 1*4 + 2*5.
+        assert_eq!(Backend::Scalar.dot(&a, &b).to_bits(), 14.0f32.to_bits());
+    }
+
+    #[test]
+    fn select_returns_an_available_backend() {
+        let selected = Backend::select();
+        assert!(Backend::available().contains(&selected));
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+    }
+}

@@ -1,0 +1,37 @@
+//! The safe scalar reference backend.
+//!
+//! This implementation *defines* the bit-identity contract: it evaluates
+//! the dot product in exactly the order a [`LANES`]-wide vector unit does —
+//! blocked per-lane accumulation over full chunks, a fixed-order sequential
+//! reduction of the lane accumulators, then a sequential tail — so SIMD
+//! backends can match it bit-for-bit without emulating scalar order.
+
+use super::LANES;
+
+/// Dot product over the common prefix of `a` and `b` in the canonical
+/// blocked evaluation order. Safe, dependency-free, and allocation-free;
+/// always available as the dispatch fallback and the parity oracle.
+pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut lanes = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
+        for ((lane, &x), &y) in lanes.iter_mut().zip(ka).zip(kb) {
+            // Separate multiply and add, mirroring the vector backends'
+            // mul+add instruction pair (no fused multiply-add anywhere).
+            *lane += x * y;
+        }
+    }
+    // Lane reduction in ascending lane order — the order every backend
+    // must reproduce when folding its vector accumulator.
+    let mut acc = 0.0f32;
+    for &lane in &lanes {
+        acc += lane;
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}

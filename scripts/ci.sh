@@ -30,6 +30,31 @@ if ! cargo run -q -p lead-lint --release -- --format json --baseline lint.baseli
     exit 1
 fi
 
+echo "==> lead-lint R10 self-test (planted unsafe-contract violations must fail)"
+R10_TMP="target/tmp/r10-selftest"
+rm -rf "$R10_TMP"
+mkdir -p "$R10_TMP/crates/nn/src/simd" "$R10_TMP/crates/geo/src"
+printf '[workspace]\nmembers = ["crates/*"]\n' > "$R10_TMP/Cargo.toml"
+printf '[package]\nname = "lead-nn"\n\n[package.metadata.lead]\nclass = "result-lib"\n' \
+    > "$R10_TMP/crates/nn/Cargo.toml"
+printf '//! N.\n#![deny(unsafe_code)]\n#![deny(missing_docs)]\n' > "$R10_TMP/crates/nn/src/lib.rs"
+# Planted violation 1: an un-SAFETY'd unsafe site inside the sanctioned module.
+printf '//! K.\n\nfn f(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n' \
+    > "$R10_TMP/crates/nn/src/simd/kernel.rs"
+# Planted violation 2: a library crate whose root is missing forbid(unsafe_code).
+printf '[package]\nname = "lead-geo"\n\n[package.metadata.lead]\nclass = "lib"\n' \
+    > "$R10_TMP/crates/geo/Cargo.toml"
+printf '//! G.\n#![deny(missing_docs)]\n' > "$R10_TMP/crates/geo/src/lib.rs"
+if cargo run -q -p lead-lint --release -- --root "$R10_TMP" > "$R10_TMP/out.txt"; then
+    echo "lead-lint R10 self-test failed: planted violations were NOT caught"
+    exit 1
+fi
+if [ "$(grep -c 'unsafe-contract' "$R10_TMP/out.txt")" -lt 2 ]; then
+    echo "lead-lint R10 self-test failed: expected both planted unsafe-contract diagnostics"
+    cat "$R10_TMP/out.txt"
+    exit 1
+fi
+
 echo "==> bench-ratchet self-test (the gate must catch a planted regression)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- --self-test
 
