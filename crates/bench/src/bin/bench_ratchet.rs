@@ -9,7 +9,7 @@
 //! ```
 //!
 //! - `--write PATH` — run the suite and write the canonical
-//!   `bench-ratchet/v1` JSON (CI writes `results/BENCH_6.json`).
+//!   `bench-ratchet/v1` JSON (CI writes `results/BENCH_8.json`).
 //! - `--baseline PATH` — compare the run against a baseline file; exit 1
 //!   when any fingerprint-matched bench exceeds the headroom ratio. Stale
 //!   and new entries are reported but do not fail the gate.
@@ -252,6 +252,39 @@ fn run_suite(sample_ms: u64) -> Vec<BenchRecord> {
         measure(sample_ms, || {
             use lead_nn::simd::Kernel;
             std::hint::black_box(backend.dot(&xs, &ys));
+        }),
+    );
+
+    // ---- simd: dispatched blocked matmul (the layers' product shape) -------
+    let a64: Vec<f32> = (0..64 * 64)
+        .map(|i| (i as f32 * 0.29).sin() * 0.5)
+        .collect();
+    let b64: Vec<f32> = (0..64 * 64)
+        .map(|i| (i as f32 * 0.41).cos() * 0.5)
+        .collect();
+    let mut out64 = vec![0.0f32; 64 * 64];
+    push(
+        "simd/matmul_64x64x64_dispatch",
+        "m=64 k=64 n=64 i-k-j axpy zero-skip".to_string(),
+        measure(sample_ms, || {
+            use lead_nn::simd::Kernel;
+            out64.fill(0.0);
+            backend.matmul_acc(&a64, &b64, &mut out64, 64, 64, 64);
+            std::hint::black_box(&out64);
+        }),
+    );
+
+    // ---- simd: fused gate row (LSTM/GRU hot loop shape) --------------------
+    let pre: Vec<f32> = (0..4_096).map(|i| (i as f32 * 0.23).sin() * 2.0).collect();
+    let bias: Vec<f32> = (0..4_096).map(|i| (i as f32 * 0.11).cos() * 0.5).collect();
+    let mut gate_out = vec![0.0f32; 4_096];
+    push(
+        "simd/gate_row_4096_dispatch",
+        "len=4096 sigmoid-gate vec-add scalar-exp".to_string(),
+        measure(sample_ms, || {
+            use lead_nn::simd::Kernel;
+            backend.sigmoid_gate(&pre, &bias, &mut gate_out);
+            std::hint::black_box(&gate_out);
         }),
     );
 

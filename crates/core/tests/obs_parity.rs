@@ -161,6 +161,56 @@ fn batch_detection_records_throughput() {
     assert!(recorder.gauge_value("batch.throughput_per_s").is_some());
 }
 
+/// Restores runtime backend selection even if the test panics.
+struct BackendGuard;
+
+impl Drop for BackendGuard {
+    fn drop(&mut self) {
+        lead_nn::simd::force_backend(None);
+    }
+}
+
+/// The two write-only contracts composed: a *probed* fit on the scalar
+/// reference backend and a *plain* fit on the runtime-selected backend must
+/// still serialize byte-identically. Neither the recorder nor the SIMD
+/// backend choice is allowed to move a single bit of the trained weights.
+#[test]
+fn cross_backend_probed_fit_is_byte_identical() {
+    let (samples, db) = tiny_world();
+    let cfg = LeadConfig::fast_test();
+    let _guard = BackendGuard;
+
+    lead_nn::simd::force_backend(Some(lead_nn::simd::Backend::Scalar));
+    let recorder = Recorder::new();
+    let (scalar_probed, _) =
+        Lead::fit_opts(&samples, &[], &db, &cfg, LeadOptions::full(), &recorder)
+            .expect("probed scalar fit");
+
+    lead_nn::simd::force_backend(None);
+    let (auto_plain, _) =
+        Lead::fit(&samples, &db, &cfg, LeadOptions::full()).expect("plain auto fit");
+
+    assert_eq!(
+        model_bytes(&scalar_probed),
+        model_bytes(&auto_plain),
+        "weights diverged across SIMD backends (with a probe attached)"
+    );
+    // And the detections those weights produce agree bitwise too.
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for s in &samples {
+        let a = scalar_probed.detect(&s.raw, &db);
+        let b = auto_plain.detect(&s.raw, &db);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.detected, b.detected);
+                assert_eq!(bits(&a.probabilities), bits(&b.probabilities));
+            }
+            (None, None) => {}
+            _ => panic!("detectability changed across SIMD backends"),
+        }
+    }
+}
+
 #[test]
 fn invalid_config_is_an_error_not_a_panic() {
     let (samples, db) = tiny_world();

@@ -61,7 +61,9 @@ impl SelfAttention {
     /// Aggregates a sequence of 1×hidden states into a single 1×hidden vector.
     ///
     /// Per Equation (3): `q = h_last·Wq + bq`, `K = H·Wk + bk`,
-    /// `s = softmax(q·Kᵀ/√d_k)`, output `= s·H`.
+    /// `s = softmax(q·Kᵀ/√d_k)`, output `= s·H`. The scoring product uses
+    /// the transpose-free `matmul_bt` op (one dispatched blocked `dot` per
+    /// step) instead of materialising `Kᵀ`.
     ///
     /// # Panics
     /// Panics if `hs` is empty.
@@ -78,8 +80,7 @@ impl SelfAttention {
         let q = g.add_row_broadcast(q0, bq); // 1 × key_dim
         let k0 = g.matmul(h_mat, wk);
         let k = g.add_row_broadcast(k0, bk); // T × key_dim
-        let kt = g.transpose(k); // key_dim × T
-        let scores0 = g.matmul(q, kt); // 1 × T
+        let scores0 = g.matmul_bt(q, k); // 1 × T, q·Kᵀ without the transpose
         let scores = g.scale(
             scores0,
             1.0 / crate::num::exact_usize_f32(self.key_dim).sqrt(),
@@ -102,8 +103,7 @@ impl SelfAttention {
         let q = g.add_row_broadcast(q0, bq);
         let k0 = g.matmul(h_mat, wk);
         let k = g.add_row_broadcast(k0, bk);
-        let kt = g.transpose(k);
-        let scores0 = g.matmul(q, kt);
+        let scores0 = g.matmul_bt(q, k);
         let scores = g.scale(
             scores0,
             1.0 / crate::num::exact_usize_f32(self.key_dim).sqrt(),

@@ -12,6 +12,8 @@ use rand::Rng;
 /// left-to-right, a backward LSTM right-to-left, the per-step hidden pairs are
 /// concatenated and passed through a fully connected layer so the output width
 /// equals the single-direction hidden width (keeping stacked layers uniform).
+/// Both directions inherit the fused, SIMD-dispatched gate kernels from
+/// [`Lstm`], and the merge layer's product/bias run on the same backends.
 #[derive(Debug, Clone)]
 pub struct BiLstm {
     fwd: Lstm,

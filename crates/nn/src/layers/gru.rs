@@ -58,14 +58,28 @@ impl Gru {
         self.hidden
     }
 
-    /// One recurrence step: consumes `x` (1×in_dim) and `h`, returns new `h`.
-    pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
+    /// The three per-gate bias slices `(z, r, n)`, recorded once so every
+    /// step of a sequence shares the same nodes.
+    fn bias_slices(&self, g: &mut Graph) -> (Var, Var, Var) {
+        let b = g.param(self.b);
+        let hsz = self.hidden;
+        (
+            g.slice_cols(b, 0, hsz),
+            g.slice_cols(b, hsz, 2 * hsz),
+            g.slice_cols(b, 2 * hsz, 3 * hsz),
+        )
+    }
+
+    /// One recurrence step with pre-sliced gate biases. Each gate is the
+    /// canonical `act(x·Wx + h·Wh + b)` form, evaluated by the fused
+    /// bias-then-activation kernels (the bias joins last, inside the gate —
+    /// the textbook formula, rather than folded into `x·Wx` up front).
+    fn step_with_bias(&self, g: &mut Graph, x: Var, h: Var, bias: (Var, Var, Var)) -> Var {
         debug_assert_eq!(g.value(x).shape(), (1, self.in_dim), "gru input shape");
+        let (bz, br, bn) = bias;
         let wx = g.param(self.wx);
         let wh = g.param(self.wh);
-        let b = g.param(self.b);
         let gx = g.matmul(x, wx);
-        let gx = g.add_row_broadcast(gx, b);
         let gh = g.matmul(h, wh);
         let hsz = self.hidden;
         let zx = g.slice_cols(gx, 0, hsz);
@@ -75,16 +89,22 @@ impl Gru {
         let rh = g.slice_cols(gh, hsz, 2 * hsz);
         let nh = g.slice_cols(gh, 2 * hsz, 3 * hsz);
         let z_pre = g.add(zx, zh);
-        let z = g.sigmoid(z_pre);
+        let z = g.sigmoid_gate(z_pre, bz);
         let r_pre = g.add(rx, rh);
-        let r = g.sigmoid(r_pre);
+        let r = g.sigmoid_gate(r_pre, br);
         let rnh = g.mul(r, nh);
         let n_pre = g.add(nx, rnh);
-        let n = g.tanh(n_pre);
+        let n = g.tanh_gate(n_pre, bn);
         let omz = g.one_minus(z);
         let new_part = g.mul(omz, n);
         let keep_part = g.mul(z, h);
         g.add(new_part, keep_part)
+    }
+
+    /// One recurrence step: consumes `x` (1×in_dim) and `h`, returns new `h`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var) -> Var {
+        let bias = self.bias_slices(g);
+        self.step_with_bias(g, x, h, bias)
     }
 
     /// Runs the recurrence over a sequence of 1×in_dim nodes, returning every
@@ -94,10 +114,11 @@ impl Gru {
     /// Panics if `xs` is empty.
     pub fn forward(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
         assert!(!xs.is_empty(), "GRU over an empty sequence");
+        let bias = self.bias_slices(g);
         let mut h = g.constant(Matrix::zeros(1, self.hidden));
         let mut hs = Vec::with_capacity(xs.len());
         for &x in xs {
-            h = self.step(g, x, h);
+            h = self.step_with_bias(g, x, h, bias);
             hs.push(h);
         }
         hs

@@ -10,7 +10,9 @@ use rand::Rng;
 ///
 /// `x` may be a T×in matrix (the bias broadcasts over rows), which is how the
 /// paper's decompression operators map a whole hidden-state matrix through
-/// shared fully connected layers (Equation (6)).
+/// shared fully connected layers (Equation (6)). Both the product and the
+/// bias broadcast run on the dispatched SIMD kernels (`matmul_acc`/`axpy`)
+/// in forward and backward passes.
 #[derive(Debug, Clone)]
 pub struct Linear {
     w: ParamId,

@@ -70,32 +70,60 @@ impl Lstm {
         (h, c)
     }
 
-    /// One recurrence step: consumes `x` (1×in_dim) and state, returns the new
-    /// `(h, c)`.
-    pub fn step(&self, g: &mut Graph, x: Var, h: Var, c: Var) -> (Var, Var) {
+    /// The four per-gate bias slices `(i, f, g, o)`, recorded once so every
+    /// step of a sequence shares the same nodes.
+    fn bias_slices(&self, g: &mut Graph) -> (Var, Var, Var, Var) {
+        let b = g.param(self.b);
+        let hsz = self.hidden;
+        (
+            g.slice_cols(b, 0, hsz),
+            g.slice_cols(b, hsz, 2 * hsz),
+            g.slice_cols(b, 2 * hsz, 3 * hsz),
+            g.slice_cols(b, 3 * hsz, 4 * hsz),
+        )
+    }
+
+    /// One recurrence step with pre-sliced gate biases; the gates run
+    /// through the fused bias-then-activation kernels, which compute
+    /// `(x·Wx + h·Wh) + b` in the same per-element order the broadcast
+    /// formulation did.
+    fn step_with_bias(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        h: Var,
+        c: Var,
+        bias: (Var, Var, Var, Var),
+    ) -> (Var, Var) {
         debug_assert_eq!(g.value(x).shape(), (1, self.in_dim), "lstm input shape");
+        let (bi, bf, bg, bo) = bias;
         let wx = g.param(self.wx);
         let wh = g.param(self.wh);
-        let b = g.param(self.b);
         let gx = g.matmul(x, wx);
         let gh = g.matmul(h, wh);
         let pre = g.add(gx, gh);
-        let pre = g.add_row_broadcast(pre, b);
         let hsz = self.hidden;
         let i_pre = g.slice_cols(pre, 0, hsz);
         let f_pre = g.slice_cols(pre, hsz, 2 * hsz);
         let g_pre = g.slice_cols(pre, 2 * hsz, 3 * hsz);
         let o_pre = g.slice_cols(pre, 3 * hsz, 4 * hsz);
-        let i = g.sigmoid(i_pre);
-        let f = g.sigmoid(f_pre);
-        let cand = g.tanh(g_pre);
-        let o = g.sigmoid(o_pre);
+        let i = g.sigmoid_gate(i_pre, bi);
+        let f = g.sigmoid_gate(f_pre, bf);
+        let cand = g.tanh_gate(g_pre, bg);
+        let o = g.sigmoid_gate(o_pre, bo);
         let fc = g.mul(f, c);
         let ig = g.mul(i, cand);
         let c_new = g.add(fc, ig);
         let c_act = g.tanh(c_new);
         let h_new = g.mul(o, c_act);
         (h_new, c_new)
+    }
+
+    /// One recurrence step: consumes `x` (1×in_dim) and state, returns the new
+    /// `(h, c)`.
+    pub fn step(&self, g: &mut Graph, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let bias = self.bias_slices(g);
+        self.step_with_bias(g, x, h, c, bias)
     }
 
     /// Runs the recurrence over a sequence of 1×in_dim nodes, returning every
@@ -106,10 +134,11 @@ impl Lstm {
     /// point and move point sequence is non-empty.
     pub fn forward(&self, g: &mut Graph, xs: &[Var]) -> Vec<Var> {
         assert!(!xs.is_empty(), "LSTM over an empty sequence");
+        let bias = self.bias_slices(g);
         let (mut h, mut c) = self.zero_state(g);
         let mut hs = Vec::with_capacity(xs.len());
         for &x in xs {
-            let (h2, c2) = self.step(g, x, h, c);
+            let (h2, c2) = self.step_with_bias(g, x, h, c, bias);
             h = h2;
             c = c2;
             hs.push(h);
@@ -122,10 +151,11 @@ impl Lstm {
     /// which unrolls a compressed vector back into a sequence.
     pub fn forward_repeated(&self, g: &mut Graph, x: Var, steps: usize) -> Vec<Var> {
         assert!(steps > 0, "decompression over zero steps");
+        let bias = self.bias_slices(g);
         let (mut h, mut c) = self.zero_state(g);
         let mut hs = Vec::with_capacity(steps);
         for _ in 0..steps {
-            let (h2, c2) = self.step(g, x, h, c);
+            let (h2, c2) = self.step_with_bias(g, x, h, c, bias);
             h = h2;
             c = c2;
             hs.push(h);

@@ -3,9 +3,16 @@
 //!
 //! Everything in the LEAD paper is small (hidden sizes 32–128, batch size 1),
 //! so kernels favour low per-call overhead over cache blocking: `matmul` uses
-//! the i-k-j loop order, which lets the inner loop auto-vectorise and is the
-//! right shape for the tall-times-small products that dominate LSTM steps.
+//! the i-k-j loop order, which is the right shape for the tall-times-small
+//! products that dominate LSTM steps.
+//!
+//! All floating-point hot paths — the three matmul kernels, elementwise
+//! arithmetic, activations/gates and their backwards, and the in-place
+//! accumulators — dispatch through [`crate::simd::active`], so every backend
+//! produces bit-identical results (the `simd` module's contract) and forcing
+//! `Backend::Scalar` never changes a stored model byte.
 
+use crate::simd::{self, Kernel};
 use std::fmt;
 
 /// A dense row-major matrix of `f32`.
@@ -154,33 +161,30 @@ impl Matrix {
     }
 
     /// `out += self × rhs`, the i-k-j kernel shared by forward and backward
-    /// passes (backward accumulates into existing gradients).
+    /// passes (backward accumulates into existing gradients). Dispatches to
+    /// the active SIMD backend's blocked `matmul_acc`.
     pub fn matmul_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         assert_eq!(out.rows, self.rows, "output rows mismatch");
         assert_eq!(out.cols, rhs.cols, "output cols mismatch");
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                // lint: allow(float-eq): exact-zero sparsity skip; a tolerance would change results
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        simd::active().matmul_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
     }
 
-    /// `out += self^T × rhs` without materialising the transpose.
+    /// `out += self^T × rhs` without materialising the transpose; the inner
+    /// loop is the dispatched `axpy` kernel with the same exact-zero
+    /// sparsity skip as `matmul_acc`.
     pub fn matmul_at_b_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, rhs.rows, "A^T·B shape mismatch");
         assert_eq!(out.rows, self.cols);
         assert_eq!(out.cols, rhs.cols);
+        let kernel = simd::active();
         let n = rhs.cols;
         for r in 0..self.rows {
             let a_row = self.row(r);
@@ -190,30 +194,37 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
+                kernel.axpy(a, b_row, &mut out.data[k * n..(k + 1) * n]);
             }
         }
     }
 
-    /// `out += self × rhs^T` without materialising the transpose.
+    /// `out += self × rhs^T` without materialising the transpose: one
+    /// dispatched blocked `dot` per output entry.
     pub fn matmul_a_bt_acc_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.cols, "A·B^T shape mismatch");
         assert_eq!(out.rows, self.rows);
         assert_eq!(out.cols, rhs.rows);
+        let kernel = simd::active();
         for i in 0..self.rows {
             let a_row = self.row(i);
             for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] += acc;
+                out.data[i * rhs.rows + j] += kernel.dot(a_row, rhs.row(j));
             }
         }
+    }
+
+    /// `self × rhs^T` as a new matrix — the attention scoring shape
+    /// (`Q × Kᵀ`) without materialising the transpose.
+    pub fn matmul_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_bt shape mismatch: {}x{} × ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_a_bt_acc_into(rhs, &mut out);
+        out
     }
 
     /// The transpose.
@@ -230,37 +241,121 @@ impl Matrix {
     /// Elementwise sum; shapes must match.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        self.zip_map(rhs, |a, b| a + b)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().add(&self.data, &rhs.data, &mut out.data);
+        out
     }
 
     /// Elementwise difference; shapes must match.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        self.zip_map(rhs, |a, b| a - b)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().sub(&self.data, &rhs.data, &mut out.data);
+        out
     }
 
     /// Elementwise (Hadamard) product; shapes must match.
     pub fn mul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "mul shape mismatch");
-        self.zip_map(rhs, |a, b| a * b)
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().mul(&self.data, &rhs.data, &mut out.data);
+        out
     }
 
     /// Adds the 1×cols row vector `row` to every row.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
         assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let kernel = simd::active();
         let mut out = self.clone();
         for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
-                *o += b;
-            }
+            // `1.0 * b` is exact, so axpy(1.0, ..) is bitwise `+= b`.
+            kernel.axpy(1.0, &row.data, out.row_mut(r));
         }
         out
     }
 
+    /// Accumulates every row of `src` into this 1×cols row vector — the
+    /// backward pass of a row broadcast (and of the fused gate bias), in
+    /// ascending row order.
+    pub fn accumulate_row_sums(&mut self, src: &Matrix) {
+        assert_eq!(self.rows, 1, "row-sum destination must be a row vector");
+        assert_eq!(self.cols, src.cols, "row-sum width mismatch");
+        let kernel = simd::active();
+        for r in 0..src.rows {
+            kernel.axpy(1.0, src.row(r), &mut self.data);
+        }
+    }
+
     /// `self * scalar`.
     pub fn scale(&self, s: f32) -> Matrix {
-        self.map(|v| v * s)
+        let mut out = self.clone();
+        out.scale_assign(s);
+        out
+    }
+
+    /// `self *= scalar` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        simd::active().scale(&mut self.data, s);
+    }
+
+    /// Elementwise logistic sigmoid (scalar libm in every backend — part of
+    /// the bit-identity contract).
+    pub fn sigmoid(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().sigmoid(&self.data, &mut out.data);
+        out
+    }
+
+    /// Elementwise hyperbolic tangent (scalar libm in every backend).
+    pub fn tanh(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().tanh(&self.data, &mut out.data);
+        out
+    }
+
+    /// Fused gate `sigmoid(self + bias)` where `bias` is a 1×cols row
+    /// vector broadcast over the rows — one dispatched kernel call per row.
+    pub fn sigmoid_gate(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "gate bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "gate bias width mismatch");
+        let kernel = simd::active();
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let dst = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            kernel.sigmoid_gate(self.row(r), &bias.data, dst);
+        }
+        out
+    }
+
+    /// Fused gate `tanh(self + bias)`; see [`Matrix::sigmoid_gate`].
+    pub fn tanh_gate(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "gate bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "gate bias width mismatch");
+        let kernel = simd::active();
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let dst = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            kernel.tanh_gate(self.row(r), &bias.data, dst);
+        }
+        out
+    }
+
+    /// Sigmoid backward `self * y * (1 - y)` where `self` is the upstream
+    /// gradient and `y` the forward output.
+    pub fn sigmoid_bwd(&self, y: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), y.shape(), "sigmoid_bwd shape mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().sigmoid_bwd(&self.data, &y.data, &mut out.data);
+        out
+    }
+
+    /// Tanh backward `self * (1 - y * y)`; see [`Matrix::sigmoid_bwd`].
+    pub fn tanh_bwd(&self, y: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), y.shape(), "tanh_bwd shape mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        simd::active().tanh_bwd(&self.data, &y.data, &mut out.data);
+        out
     }
 
     /// Applies `f` to every entry.
@@ -290,9 +385,8 @@ impl Matrix {
     /// `self += rhs` in place; shapes must match.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += b;
-        }
+        // axpy(1.0, ..) is bitwise `+= b` since `1.0 * b` is exact.
+        simd::active().axpy(1.0, &rhs.data, &mut self.data);
     }
 
     /// `self += rhs * s` in place; shapes must match.
@@ -302,9 +396,7 @@ impl Matrix {
             rhs.shape(),
             "add_scaled_assign shape mismatch"
         );
-        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
-            *a += b * s;
-        }
+        simd::active().axpy(s, &rhs.data, &mut self.data);
     }
 
     /// Zeroes every entry, keeping the allocation.
@@ -338,9 +430,10 @@ impl Matrix {
         Some((best / self.cols, best % self.cols))
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm, via the dispatched blocked `dot` of the data with
+    /// itself (so the gradient-clipping threshold is backend-independent).
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+        simd::active().dot(&self.data, &self.data).sqrt()
     }
 
     /// Concatenates matrices left-to-right; all must share the row count.
@@ -584,5 +677,79 @@ mod tests {
         let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         a.fill_zero();
         assert_eq!(a, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|v| v as f32).collect::<Vec<_>>());
+        let got = a.matmul_bt(&b);
+        let expect = a.matmul(&b.transpose());
+        assert_eq!(got.data(), expect.data());
+    }
+
+    #[test]
+    fn scale_assign_matches_scale() {
+        let a = m(2, 2, &[1.0, -2.0, 0.5, 4.0]);
+        let mut b = a.clone();
+        b.scale_assign(0.25);
+        assert_eq!(b.data(), a.scale(0.25).data());
+        assert_eq!(b.data(), &[0.25, -0.5, 0.125, 1.0]);
+    }
+
+    #[test]
+    fn activations_match_libm_bitwise() {
+        let a = m(1, 5, &[-2.0, -0.0, 0.0, 0.5, 3.0]);
+        let s = a.sigmoid();
+        let t = a.tanh();
+        for (i, &v) in a.data().iter().enumerate() {
+            let want_s = 1.0 / (1.0 + (-v).exp());
+            assert_eq!(s.data()[i].to_bits(), want_s.to_bits());
+            assert_eq!(t.data()[i].to_bits(), v.tanh().to_bits());
+        }
+        // tanh preserves the sign of zero — the reason plain activations
+        // never route through the gate kernels with a zero bias.
+        assert_eq!(t.data()[1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn gates_match_broadcast_then_activation_bitwise() {
+        let x = m(2, 3, &[0.5, -1.0, 2.0, -0.25, 0.0, 1.5]);
+        let b = m(1, 3, &[0.25, 1.0, -2.0]);
+        let via_broadcast_sig = x.add_row_broadcast(&b).sigmoid();
+        let via_broadcast_tanh = x.add_row_broadcast(&b).tanh();
+        let gate_sig = x.sigmoid_gate(&b);
+        let gate_tanh = x.tanh_gate(&b);
+        for i in 0..x.len() {
+            assert_eq!(
+                gate_sig.data()[i].to_bits(),
+                via_broadcast_sig.data()[i].to_bits()
+            );
+            assert_eq!(
+                gate_tanh.data()[i].to_bits(),
+                via_broadcast_tanh.data()[i].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn activation_backwards_match_formulas() {
+        let g = m(1, 4, &[1.0, -0.5, 2.0, 0.25]);
+        let y = m(1, 4, &[0.5, 0.25, 0.75, -0.5]);
+        let sb = g.sigmoid_bwd(&y);
+        let tb = g.tanh_bwd(&y);
+        for i in 0..4 {
+            let (gi, yi) = (g.data()[i], y.data()[i]);
+            assert_eq!(sb.data()[i].to_bits(), (gi * yi * (1.0 - yi)).to_bits());
+            assert_eq!(tb.data()[i].to_bits(), (gi * (1.0 - yi * yi)).to_bits());
+        }
+    }
+
+    #[test]
+    fn accumulate_row_sums_is_broadcast_backward() {
+        let src = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut acc = m(1, 2, &[10.0, 20.0]);
+        acc.accumulate_row_sums(&src);
+        assert_eq!(acc.data(), &[19.0, 32.0]);
     }
 }

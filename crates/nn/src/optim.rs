@@ -1,7 +1,13 @@
 //! Optimisers: Adam (the paper's choice, learning rate 1e-4) and plain SGD.
+//!
+//! Both update loops run on the dispatched SIMD kernels: Adam through the
+//! fused [`Kernel::adam_update`] (one call per parameter buffer), SGD through
+//! `axpy` via `Matrix::add_scaled_assign` — so optimiser steps are
+//! bit-identical across backends like the rest of the hot paths.
 
 use crate::matrix::Matrix;
 use crate::params::{Gradients, ParamSet};
+use crate::simd::{self, AdamCoeffs, Kernel};
 
 /// The Adam optimiser (Kingma & Ba 2014) with bias-corrected moment estimates.
 #[derive(Debug, Clone)]
@@ -80,26 +86,23 @@ impl Adam {
         // powi saturates the exponent: beyond i32::MAX steps the bias
         // correction is 1.0 - beta^huge = 1.0 anyway.
         let t = i32::try_from(self.t).unwrap_or(i32::MAX);
-        let bc1 = 1.0 - self.beta1.powi(t);
-        let bc2 = 1.0 - self.beta2.powi(t);
+        let coeffs = AdamCoeffs {
+            beta1: self.beta1,
+            beta2: self.beta2,
+            bc1: 1.0 - self.beta1.powi(t),
+            bc2: 1.0 - self.beta2.powi(t),
+            lr: self.lr,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+        };
+        let kernel = simd::active();
         for idx in 0..params.len() {
             let id = crate::params::ParamId(idx);
             let g = grads.get(id);
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
             let p = params.value_mut(id);
-            for i in 0..g.len() {
-                let gi = g.data()[i];
-                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
-                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
-                m.data_mut()[i] = mi;
-                v.data_mut()[i] = vi;
-                let mhat = mi / bc1;
-                let vhat = vi / bc2;
-                let cur = p.data()[i];
-                p.data_mut()[i] =
-                    cur - self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * cur);
-            }
+            kernel.adam_update(p.data_mut(), g.data(), m.data_mut(), v.data_mut(), &coeffs);
         }
     }
 }

@@ -127,10 +127,11 @@ impl Gradients {
         }
     }
 
-    /// Multiplies every gradient by `s` (averaging accumulated batches).
+    /// Multiplies every gradient by `s` in place (averaging accumulated
+    /// batches) via the dispatched `scale` kernel — no reallocation.
     pub fn scale(&mut self, s: f32) {
         for g in &mut self.grads {
-            *g = g.scale(s);
+            g.scale_assign(s);
         }
     }
 

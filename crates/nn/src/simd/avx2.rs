@@ -1,11 +1,24 @@
 //! The 256-bit AVX2 backend (x86-64 only).
 //!
-//! Bit-identity with [`super::scalar`] holds by construction: the vector
-//! accumulator performs the same per-lane `mul` + `add` pair on the same
-//! [`LANES`]-wide chunks (separate `_mm256_mul_ps`/`_mm256_add_ps` — never
-//! FMA, whose single rounding would diverge from the reference), the lane
-//! reduction folds the stored accumulator in the same ascending lane
-//! order, and the tail runs the same sequential scalar loop.
+//! Bit-identity with [`super::scalar`] holds by construction, kernel by
+//! kernel:
+//!
+//! - [`dot`] performs the same per-lane `mul` + `add` pair on the same
+//!   [`LANES`]-wide chunks (separate `_mm256_mul_ps`/`_mm256_add_ps` — never
+//!   FMA, whose single rounding would diverge from the reference), folds the
+//!   stored accumulator in the same ascending lane order, and runs the same
+//!   sequential scalar tail.
+//! - The elementwise kernels ([`axpy`], [`add`], [`sub`], [`mul`],
+//!   [`scale`], [`sigmoid_bwd`], [`tanh_bwd`], [`adam_update`]) have no
+//!   cross-element data flow; each vector instruction applies the scalar
+//!   reference's exact operation sequence to eight elements at once, and
+//!   every individual operation used (`add`, `sub`, `mul`, `div`, `sqrt`)
+//!   is IEEE correctly rounded, so each element's bits are unchanged.
+//! - The gate kernels ([`sigmoid_gate`], [`tanh_gate`]) vectorise only the
+//!   exactly-rounded bias add; the transcendental activation is the same
+//!   scalar libm call the reference makes, element by element.
+//! - Every kernel delegates its sub-chunk tail to the scalar reference
+//!   itself, so tails are identical by definition rather than by imitation.
 //!
 //! All unsafety is confined to this file and justified per site; the safe
 //! dispatch wrapper in [`super`] only reaches it after feature detection.
@@ -13,10 +26,47 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use core::arch::x86_64::{
-    _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    __m256, _mm256_add_ps, _mm256_div_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+    _mm256_setzero_ps, _mm256_sqrt_ps, _mm256_storeu_ps, _mm256_sub_ps,
 };
 
-use super::LANES;
+use super::{scalar, AdamCoeffs, LANES};
+
+/// Loads one LANES-wide chunk produced by `chunks_exact(LANES)`.
+///
+/// # Safety
+///
+/// The caller must be in an AVX2 `target_feature` context, and `k` must be
+/// exactly `LANES` elements long (guaranteed by `chunks_exact(LANES)`).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// callers uphold the AVX2 context and the exact-LANES length above.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load(k: &[f32]) -> __m256 {
+    debug_assert_eq!(k.len(), LANES);
+    // SAFETY: `k` points at exactly LANES = 8 initialised, readable `f32`s —
+    // the full 256-bit span `_mm256_loadu_ps` reads. `loadu` permits
+    // unaligned addresses, so slice alignment is sufficient.
+    unsafe { _mm256_loadu_ps(k.as_ptr()) }
+}
+
+/// Stores a 256-bit vector into one LANES-wide mutable chunk.
+///
+/// # Safety
+///
+/// The caller must be in an AVX2 `target_feature` context, and `k` must be
+/// exactly `LANES` elements long (guaranteed by `chunks_exact_mut(LANES)`).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// callers uphold the AVX2 context and the exact-LANES length above.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn store(k: &mut [f32], v: __m256) {
+    debug_assert_eq!(k.len(), LANES);
+    // SAFETY: `k` points at exactly LANES = 8 writable `f32`s — the full
+    // 256-bit span `_mm256_storeu_ps` writes; `storeu` permits unaligned
+    // addresses, so slice alignment is sufficient.
+    unsafe { _mm256_storeu_ps(k.as_mut_ptr(), v) }
+}
 
 /// Dot product over the common prefix of `a` and `b`, matching the scalar
 /// reference bit-for-bit.
@@ -32,27 +82,20 @@ use super::LANES;
 pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
-    // Register-only intrinsics (`setzero`, `mul`, `add`) are safe fns in a
-    // `target_feature(avx2)` context; only the memory-touching loads and
-    // stores below need unsafe.
     let mut acc = _mm256_setzero_ps();
     let mut ca = a.chunks_exact(LANES);
     let mut cb = b.chunks_exact(LANES);
     for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
-        // SAFETY: `ka` and `kb` come from `chunks_exact(LANES)`, so each
-        // points at exactly LANES = 8 initialised, readable `f32`s — the
-        // full 256-bit span `_mm256_loadu_ps` reads. `loadu` permits
-        // unaligned addresses, so slice alignment is sufficient.
-        let (va, vb) = unsafe { (_mm256_loadu_ps(ka.as_ptr()), _mm256_loadu_ps(kb.as_ptr())) };
+        // SAFETY: in an AVX2 context (this fn's own target_feature), and
+        // `ka`/`kb` come from `chunks_exact(LANES)`.
+        let (va, vb) = unsafe { (load(ka), load(kb)) };
         // Separate mul + add (never FMA) keeps rounding identical to the
         // scalar reference.
         acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
     }
     let mut lanes = [0.0f32; LANES];
-    // SAFETY: `lanes` is a LANES = 8 element `f32` array, exactly the
-    // 256 bits `_mm256_storeu_ps` writes; `storeu` permits unaligned
-    // addresses, so the array's natural alignment is sufficient.
-    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+    // SAFETY: in an AVX2 context; `lanes` is a LANES = 8 element array.
+    unsafe { store(&mut lanes, acc) };
     // Identical fixed-order reduction and tail to `scalar::dot`.
     let mut out = 0.0f32;
     for &lane in &lanes {
@@ -62,4 +105,304 @@ pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
         out += x * y;
     }
     out
+}
+
+/// `y += a * x` (separate mul + add per lane, tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let va = _mm256_set1_ps(a);
+    let mut cx = x.chunks_exact(LANES);
+    let mut cy = y.chunks_exact_mut(LANES);
+    for (kx, ky) in cx.by_ref().zip(cy.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let (vx, vy) = unsafe { (load(kx), load(ky)) };
+        let r = _mm256_add_ps(vy, _mm256_mul_ps(va, vx));
+        // SAFETY: in an AVX2 context; `ky` is exactly LANES long.
+        unsafe { store(ky, r) };
+    }
+    scalar::axpy(a, cx.remainder(), cy.into_remainder());
+}
+
+/// `out = a + b` elementwise (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    let (a, b, out) = (&a[..n], &b[..n], &mut out[..n]);
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((ka, kb), ko) in ca.by_ref().zip(cb.by_ref()).zip(co.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let r = unsafe { _mm256_add_ps(load(ka), load(kb)) };
+        // SAFETY: in an AVX2 context; `ko` is exactly LANES long.
+        unsafe { store(ko, r) };
+    }
+    scalar::add(ca.remainder(), cb.remainder(), co.into_remainder());
+}
+
+/// `out = a - b` elementwise (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    let (a, b, out) = (&a[..n], &b[..n], &mut out[..n]);
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((ka, kb), ko) in ca.by_ref().zip(cb.by_ref()).zip(co.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let r = unsafe { _mm256_sub_ps(load(ka), load(kb)) };
+        // SAFETY: in an AVX2 context; `ko` is exactly LANES long.
+        unsafe { store(ko, r) };
+    }
+    scalar::sub(ca.remainder(), cb.remainder(), co.into_remainder());
+}
+
+/// `out = a * b` elementwise (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    let (a, b, out) = (&a[..n], &b[..n], &mut out[..n]);
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((ka, kb), ko) in ca.by_ref().zip(cb.by_ref()).zip(co.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let r = unsafe { _mm256_mul_ps(load(ka), load(kb)) };
+        // SAFETY: in an AVX2 context; `ko` is exactly LANES long.
+        unsafe { store(ko, r) };
+    }
+    scalar::mul(ca.remainder(), cb.remainder(), co.into_remainder());
+}
+
+/// `x *= s` in place (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn scale(x: &mut [f32], s: f32) {
+    let vs = _mm256_set1_ps(s);
+    let mut cx = x.chunks_exact_mut(LANES);
+    for kx in cx.by_ref() {
+        // SAFETY: in an AVX2 context; `kx` is exactly LANES long.
+        let r = unsafe { _mm256_mul_ps(load(kx), vs) };
+        // SAFETY: in an AVX2 context; `kx` is exactly LANES long.
+        unsafe { store(kx, r) };
+    }
+    scalar::scale(cx.into_remainder(), s);
+}
+
+/// Fused gate `out = sigmoid(pre + bias)`: the bias add is vectorised (an
+/// exactly rounded operation), then the activation applies the same scalar
+/// libm `exp` as the reference, element by element — vectorised
+/// transcendental approximations would break bit-identity.
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn sigmoid_gate(pre: &[f32], bias: &[f32], out: &mut [f32]) {
+    let n = pre.len().min(bias.len()).min(out.len());
+    // SAFETY: in an AVX2 context; operands truncated to a common length.
+    unsafe { add(&pre[..n], &bias[..n], &mut out[..n]) };
+    scalar::sigmoid_in_place(&mut out[..n]);
+}
+
+/// Fused gate `out = tanh(pre + bias)`; see [`sigmoid_gate`] for the split
+/// between the vectorised add and the scalar activation.
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn tanh_gate(pre: &[f32], bias: &[f32], out: &mut [f32]) {
+    let n = pre.len().min(bias.len()).min(out.len());
+    // SAFETY: in an AVX2 context; operands truncated to a common length.
+    unsafe { add(&pre[..n], &bias[..n], &mut out[..n]) };
+    scalar::tanh_in_place(&mut out[..n]);
+}
+
+/// Sigmoid backward `out = g * y * (1 - y)`, left-associated exactly like
+/// the scalar reference (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn sigmoid_bwd(g: &[f32], y: &[f32], out: &mut [f32]) {
+    let n = g.len().min(y.len()).min(out.len());
+    let (g, y, out) = (&g[..n], &y[..n], &mut out[..n]);
+    let one = _mm256_set1_ps(1.0);
+    let mut cg = g.chunks_exact(LANES);
+    let mut cy = y.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((kg, ky), ko) in cg.by_ref().zip(cy.by_ref()).zip(co.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let (vg, vy) = unsafe { (load(kg), load(ky)) };
+        // (g * y) * (1 - y): same association as the scalar reference.
+        let r = _mm256_mul_ps(_mm256_mul_ps(vg, vy), _mm256_sub_ps(one, vy));
+        // SAFETY: in an AVX2 context; `ko` is exactly LANES long.
+        unsafe { store(ko, r) };
+    }
+    scalar::sigmoid_bwd(cg.remainder(), cy.remainder(), co.into_remainder());
+}
+
+/// Tanh backward `out = g * (1 - y * y)` (tail delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn tanh_bwd(g: &[f32], y: &[f32], out: &mut [f32]) {
+    let n = g.len().min(y.len()).min(out.len());
+    let (g, y, out) = (&g[..n], &y[..n], &mut out[..n]);
+    let one = _mm256_set1_ps(1.0);
+    let mut cg = g.chunks_exact(LANES);
+    let mut cy = y.chunks_exact(LANES);
+    let mut co = out.chunks_exact_mut(LANES);
+    for ((kg, ky), ko) in cg.by_ref().zip(cy.by_ref()).zip(co.by_ref()) {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let (vg, vy) = unsafe { (load(kg), load(ky)) };
+        let r = _mm256_mul_ps(vg, _mm256_sub_ps(one, _mm256_mul_ps(vy, vy)));
+        // SAFETY: in an AVX2 context; `ko` is exactly LANES long.
+        unsafe { store(ko, r) };
+    }
+    scalar::tanh_bwd(cg.remainder(), cy.remainder(), co.into_remainder());
+}
+
+/// Blocked `out += a × b` in the same i-k-j / axpy loop nest as the scalar
+/// reference, including the exact-zero sparsity skip.
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn matmul_acc(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            // lint: allow(float-eq): exact-zero sparsity skip; a tolerance would change results
+            if aik == 0.0 {
+                continue;
+            }
+            // SAFETY: in an AVX2 context (this fn's own target_feature).
+            unsafe { axpy(aik, &b[kk * n..(kk + 1) * n], out_row) };
+        }
+    }
+}
+
+/// One Adam/AdamW update, vectorised end to end: every operation the scalar
+/// reference performs (`mul`, `add`, `sub`, `div`, `sqrt`) is IEEE exactly
+/// rounded, so the vector forms produce identical bits per element (tail
+/// delegated to scalar).
+///
+/// # Safety
+///
+/// The running CPU must support AVX2 (guarded by the `Backend` dispatcher).
+// SAFETY: `target_feature(enable = "avx2")` makes this fn unsafe-to-call;
+// the feature-detection precondition is the entire soundness argument.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn adam_update(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    c: &AdamCoeffs,
+) {
+    let n = p.len().min(g.len()).min(m.len()).min(v.len());
+    let (p, g, m, v) = (&mut p[..n], &g[..n], &mut m[..n], &mut v[..n]);
+    let b1 = _mm256_set1_ps(c.beta1);
+    let b2 = _mm256_set1_ps(c.beta2);
+    let om1 = _mm256_set1_ps(1.0 - c.beta1);
+    let om2 = _mm256_set1_ps(1.0 - c.beta2);
+    let bc1 = _mm256_set1_ps(c.bc1);
+    let bc2 = _mm256_set1_ps(c.bc2);
+    let lr = _mm256_set1_ps(c.lr);
+    let eps = _mm256_set1_ps(c.eps);
+    let wd = _mm256_set1_ps(c.weight_decay);
+    let mut cp = p.chunks_exact_mut(LANES);
+    let mut cg = g.chunks_exact(LANES);
+    let mut cm = m.chunks_exact_mut(LANES);
+    let mut cv = v.chunks_exact_mut(LANES);
+    for (((kp, kg), km), kv) in cp
+        .by_ref()
+        .zip(cg.by_ref())
+        .zip(cm.by_ref())
+        .zip(cv.by_ref())
+    {
+        // SAFETY: in an AVX2 context; chunks are exactly LANES long.
+        let (vp, vg, vm, vv) = unsafe { (load(kp), load(kg), load(km), load(kv)) };
+        // mn = beta1*m + (1-beta1)*g — two muls and an add, like scalar.
+        let mn = _mm256_add_ps(_mm256_mul_ps(b1, vm), _mm256_mul_ps(om1, vg));
+        // vn = beta2*v + ((1-beta2)*g)*g — same left association as scalar.
+        let vn = _mm256_add_ps(
+            _mm256_mul_ps(b2, vv),
+            _mm256_mul_ps(_mm256_mul_ps(om2, vg), vg),
+        );
+        // SAFETY: in an AVX2 context; `km`/`kv` are exactly LANES long.
+        unsafe {
+            store(km, mn);
+            store(kv, vn);
+        }
+        let mhat = _mm256_div_ps(mn, bc1);
+        let vhat = _mm256_div_ps(vn, bc2);
+        let den = _mm256_add_ps(_mm256_sqrt_ps(vhat), eps);
+        let update = _mm256_add_ps(_mm256_div_ps(mhat, den), _mm256_mul_ps(wd, vp));
+        let r = _mm256_sub_ps(vp, _mm256_mul_ps(lr, update));
+        // SAFETY: in an AVX2 context; `kp` is exactly LANES long.
+        unsafe { store(kp, r) };
+    }
+    scalar::adam_update(
+        cp.into_remainder(),
+        cg.remainder(),
+        cm.into_remainder(),
+        cv.into_remainder(),
+        c,
+    );
 }

@@ -1,16 +1,32 @@
 //! The safe scalar reference backend.
 //!
-//! This implementation *defines* the bit-identity contract: it evaluates
-//! the dot product in exactly the order a [`LANES`]-wide vector unit does —
-//! blocked per-lane accumulation over full chunks, a fixed-order sequential
-//! reduction of the lane accumulators, then a sequential tail — so SIMD
-//! backends can match it bit-for-bit without emulating scalar order.
+//! These implementations *define* the bit-identity contract for every kernel
+//! in the surface:
+//!
+//! - **Reduction kernels** ([`dot`]) evaluate in exactly the order a
+//!   [`LANES`]-wide vector unit does — blocked per-lane accumulation over
+//!   full chunks, a fixed-order sequential reduction of the lane
+//!   accumulators, then a sequential tail — so SIMD backends can match them
+//!   bit-for-bit without emulating scalar order.
+//! - **Elementwise kernels** ([`axpy`], [`add`], [`sub`], [`mul`], [`scale`],
+//!   the gate and backward kernels, [`adam_update`]) have no cross-element
+//!   data flow, so their contract is the exact per-element instruction
+//!   sequence written here: separate multiply and add (never a fused
+//!   multiply-add), division and square root (both IEEE correctly rounded,
+//!   hence vectorisable bit-identically), and transcendentals (`exp`,
+//!   `tanh`) evaluated by the same scalar libm call in every backend.
+//! - **Composite kernels** ([`matmul_acc`]) are defined as a fixed loop nest
+//!   over the primitive kernels above, including the exact-zero sparsity
+//!   skip, so their bit pattern follows from the primitives'.
+//!
+//! Everything here is safe, dependency-free, and allocation-free; this
+//! backend is always available as the dispatch fallback and the parity
+//! oracle.
 
-use super::LANES;
+use super::{AdamCoeffs, LANES};
 
 /// Dot product over the common prefix of `a` and `b` in the canonical
-/// blocked evaluation order. Safe, dependency-free, and allocation-free;
-/// always available as the dispatch fallback and the parity oracle.
+/// blocked evaluation order.
 pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
@@ -34,4 +50,166 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
         acc += x * y;
     }
     acc
+}
+
+/// `y[i] += a * x[i]` over the common prefix of `x` and `y`.
+pub(super) fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len().min(y.len());
+    for (yi, &xi) in y[..n].iter_mut().zip(&x[..n]) {
+        // Separate mul + add; per-element, so no blocking is needed.
+        *yi += a * xi;
+    }
+}
+
+/// `out[i] = a[i] + b[i]` over the common prefix of all three slices.
+pub(super) fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    for ((o, &x), &y) in out[..n].iter_mut().zip(&a[..n]).zip(&b[..n]) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] = a[i] - b[i]` over the common prefix of all three slices.
+pub(super) fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    for ((o, &x), &y) in out[..n].iter_mut().zip(&a[..n]).zip(&b[..n]) {
+        *o = x - y;
+    }
+}
+
+/// `out[i] = a[i] * b[i]` over the common prefix of all three slices.
+pub(super) fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    for ((o, &x), &y) in out[..n].iter_mut().zip(&a[..n]).zip(&b[..n]) {
+        *o = x * y;
+    }
+}
+
+/// `x[i] *= s` in place.
+pub(super) fn scale(x: &mut [f32], s: f32) {
+    for xi in x.iter_mut() {
+        *xi *= s;
+    }
+}
+
+/// The logistic sigmoid as every backend must evaluate it: one scalar libm
+/// `exp` per element. Vectorised `exp` approximations would break the
+/// bit-identity contract, so there is exactly one definition.
+#[inline]
+fn sigmoid_one(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// `out[i] = sigmoid(a[i])` over the common prefix.
+pub(super) fn sigmoid(a: &[f32], out: &mut [f32]) {
+    let n = a.len().min(out.len());
+    for (o, &z) in out[..n].iter_mut().zip(&a[..n]) {
+        *o = sigmoid_one(z);
+    }
+}
+
+/// `out[i] = tanh(a[i])` over the common prefix.
+pub(super) fn tanh(a: &[f32], out: &mut [f32]) {
+    let n = a.len().min(out.len());
+    for (o, &z) in out[..n].iter_mut().zip(&a[..n]) {
+        *o = z.tanh();
+    }
+}
+
+/// Applies the sigmoid in place — the activation half of the gate kernels,
+/// reused by vector backends after their exactly-rounded affine part.
+pub(super) fn sigmoid_in_place(x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi = sigmoid_one(*xi);
+    }
+}
+
+/// Applies `tanh` in place; see [`sigmoid_in_place`].
+pub(super) fn tanh_in_place(x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi = (*xi).tanh();
+    }
+}
+
+/// Fused gate: `out[i] = sigmoid(pre[i] + bias[i])` over the common prefix.
+pub(super) fn sigmoid_gate(pre: &[f32], bias: &[f32], out: &mut [f32]) {
+    let n = pre.len().min(bias.len()).min(out.len());
+    for ((o, &p), &b) in out[..n].iter_mut().zip(&pre[..n]).zip(&bias[..n]) {
+        *o = sigmoid_one(p + b);
+    }
+}
+
+/// Fused gate: `out[i] = tanh(pre[i] + bias[i])` over the common prefix.
+pub(super) fn tanh_gate(pre: &[f32], bias: &[f32], out: &mut [f32]) {
+    let n = pre.len().min(bias.len()).min(out.len());
+    for ((o, &p), &b) in out[..n].iter_mut().zip(&pre[..n]).zip(&bias[..n]) {
+        *o = (p + b).tanh();
+    }
+}
+
+/// Sigmoid backward: `out[i] = g[i] * y[i] * (1 - y[i])` (left-associated,
+/// as the tape has always evaluated it) over the common prefix.
+pub(super) fn sigmoid_bwd(g: &[f32], y: &[f32], out: &mut [f32]) {
+    let n = g.len().min(y.len()).min(out.len());
+    for ((o, &gi), &yi) in out[..n].iter_mut().zip(&g[..n]).zip(&y[..n]) {
+        *o = gi * yi * (1.0 - yi);
+    }
+}
+
+/// Tanh backward: `out[i] = g[i] * (1 - y[i] * y[i])` over the common prefix.
+pub(super) fn tanh_bwd(g: &[f32], y: &[f32], out: &mut [f32]) {
+    let n = g.len().min(y.len()).min(out.len());
+    for ((o, &gi), &yi) in out[..n].iter_mut().zip(&g[..n]).zip(&y[..n]) {
+        *o = gi * (1.0 - yi * yi);
+    }
+}
+
+/// Blocked matrix-multiply accumulate: `out[m×n] += a[m×k] × b[k×n]`, all
+/// row-major, in the i-k-j loop order with an [`axpy`] inner loop.
+///
+/// The exact-zero skip on `a`'s entries is part of the contract: gradients
+/// are genuinely sparse after slicing/concat backward passes, and skipping
+/// an entire axpy whose coefficient is `±0.0` never changes stored bits
+/// (`out + 0.0 * b` only differs for `out = -0.0`, which the skip
+/// *preserves* rather than rewrites — the historical behaviour this
+/// reference inherited and every backend must keep).
+pub(super) fn matmul_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            // lint: allow(float-eq): exact-zero sparsity skip; a tolerance would change results
+            if aik == 0.0 {
+                continue;
+            }
+            axpy(aik, &b[kk * n..(kk + 1) * n], out_row);
+        }
+    }
+}
+
+/// One Adam/AdamW update over the common prefix of the four buffers:
+/// moment updates, bias correction, and the decoupled-weight-decay step, in
+/// the exact per-element order `optim::Adam` has always used. Division and
+/// `sqrt` are IEEE correctly rounded, so vector backends reproduce this
+/// bit-for-bit with `div`/`sqrt` instructions.
+pub(super) fn adam_update(p: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], c: &AdamCoeffs) {
+    let n = p.len().min(g.len()).min(m.len()).min(v.len());
+    let om1 = 1.0 - c.beta1;
+    let om2 = 1.0 - c.beta2;
+    let (p, m, v) = (&mut p[..n], &mut m[..n], &mut v[..n]);
+    for (((pi, &gi), mi), vi) in p
+        .iter_mut()
+        .zip(&g[..n])
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+    {
+        let mn = c.beta1 * *mi + om1 * gi;
+        let vn = c.beta2 * *vi + om2 * gi * gi;
+        *mi = mn;
+        *vi = vn;
+        let mhat = mn / c.bc1;
+        let vhat = vn / c.bc2;
+        let cur = *pi;
+        *pi = cur - c.lr * (mhat / (vhat.sqrt() + c.eps) + c.weight_decay * cur);
+    }
 }

@@ -5,13 +5,17 @@
 //! [`Gradients`] buffer aligned with the [`ParamSet`] the graph reads from.
 //!
 //! The op vocabulary is exactly what the LEAD architectures need: matrix
-//! products, elementwise arithmetic, broadcasts, slicing/concatenation (for
-//! LSTM gate splits and bidirectional merges), `tanh`/`sigmoid`/row-softmax,
-//! and two fused losses (MSE for the hierarchical autoencoder, KL divergence
-//! for the detectors).
+//! products (including the transpose-free `A·Bᵀ` attention scoring shape),
+//! elementwise arithmetic, broadcasts, slicing/concatenation (for LSTM gate
+//! splits and bidirectional merges), `tanh`/`sigmoid`/row-softmax, fused
+//! bias-then-activation gates, and two fused losses (MSE for the
+//! hierarchical autoencoder, KL divergence for the detectors). Forward and
+//! backward passes route through the dispatched SIMD kernels via `Matrix`,
+//! so autodiff inherits the backend bit-identity contract.
 
 use crate::matrix::Matrix;
 use crate::params::{Gradients, ParamId, ParamSet};
+use crate::simd::{self, Kernel};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +28,8 @@ enum Op {
     /// A trainable parameter; gradients are exported via its [`ParamId`].
     Param(ParamId),
     MatMul(Var, Var),
+    /// `a × b^T` without materialising the transpose (attention scoring).
+    MatMulBt(Var, Var),
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -33,6 +39,10 @@ enum Op {
     AddScalar(Var),
     Tanh(Var),
     Sigmoid(Var),
+    /// Fused `sigmoid(pre + bias)` with `bias` a 1×cols row broadcast.
+    SigmoidGate(Var, Var),
+    /// Fused `tanh(pre + bias)` with `bias` a 1×cols row broadcast.
+    TanhGate(Var, Var),
     Relu(Var),
     SoftmaxRows(Var),
     ConcatCols(Vec<Var>),
@@ -145,6 +155,14 @@ impl<'p> Graph<'p> {
         self.push(value, Op::MatMul(a, b), ng)
     }
 
+    /// Matrix product `a × b^T` without materialising the transpose — the
+    /// attention scoring shape (`Q × Kᵀ`).
+    pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_bt(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(value, Op::MatMulBt(a, b), ng)
+    }
+
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let value = self.value(a).add(self.value(b));
@@ -197,16 +215,32 @@ impl<'p> Graph<'p> {
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let value = self.value(a).tanh();
         let ng = self.needs(a);
         self.push(value, Op::Tanh(a), ng)
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.value(a).sigmoid();
         let ng = self.needs(a);
         self.push(value, Op::Sigmoid(a), ng)
+    }
+
+    /// Fused gate `sigmoid(pre + bias)` with `bias` a 1×cols row vector
+    /// broadcast over `pre`'s rows — one kernel call per row instead of a
+    /// broadcast node plus an activation node.
+    pub fn sigmoid_gate(&mut self, pre: Var, bias: Var) -> Var {
+        let value = self.value(pre).sigmoid_gate(self.value(bias));
+        let ng = self.needs(pre) || self.needs(bias);
+        self.push(value, Op::SigmoidGate(pre, bias), ng)
+    }
+
+    /// Fused gate `tanh(pre + bias)`; see [`Graph::sigmoid_gate`].
+    pub fn tanh_gate(&mut self, pre: Var, bias: Var) -> Var {
+        let value = self.value(pre).tanh_gate(self.value(bias));
+        let ng = self.needs(pre) || self.needs(bias);
+        self.push(value, Op::TanhGate(pre, bias), ng)
     }
 
     /// Elementwise rectified linear unit.
@@ -369,6 +403,17 @@ impl<'p> Graph<'p> {
                         self.nodes[a.0].value.matmul_at_b_acc_into(&g, gb);
                     }
                 }
+                Op::MatMulBt(a, b) => {
+                    // y = A·Bᵀ, so dA = G·B and dB = Gᵀ·A.
+                    if self.needs(*a) {
+                        let ga = self.grad_slot(&mut grads, *a);
+                        g.matmul_acc_into(&self.nodes[b.0].value, ga);
+                    }
+                    if self.needs(*b) {
+                        let gb = self.grad_slot(&mut grads, *b);
+                        g.matmul_at_b_acc_into(&self.nodes[a.0].value, gb);
+                    }
+                }
                 Op::Add(a, b) => {
                     if self.needs(*a) {
                         self.grad_slot(&mut grads, *a).add_assign(&g);
@@ -400,14 +445,7 @@ impl<'p> Graph<'p> {
                         self.grad_slot(&mut grads, *a).add_assign(&g);
                     }
                     if self.needs(*row) {
-                        let cols = g.cols();
-                        let gr = self.grad_slot(&mut grads, *row);
-                        for r in 0..g.rows() {
-                            for c in 0..cols {
-                                let v = gr.at(0, c) + g.at(r, c);
-                                gr.set(0, c, v);
-                            }
-                        }
+                        self.grad_slot(&mut grads, *row).accumulate_row_sums(&g);
                     }
                 }
                 Op::Scale(a, s) => {
@@ -422,16 +460,34 @@ impl<'p> Graph<'p> {
                 }
                 Op::Tanh(a) => {
                     if self.needs(*a) {
-                        let y = &self.nodes[i].value;
-                        let dg = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                        let dg = g.tanh_bwd(&self.nodes[i].value);
                         self.grad_slot(&mut grads, *a).add_assign(&dg);
                     }
                 }
                 Op::Sigmoid(a) => {
                     if self.needs(*a) {
-                        let y = &self.nodes[i].value;
-                        let dg = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                        let dg = g.sigmoid_bwd(&self.nodes[i].value);
                         self.grad_slot(&mut grads, *a).add_assign(&dg);
+                    }
+                }
+                Op::SigmoidGate(pre, bias) => {
+                    // d/d(pre+bias) = g·y·(1−y); pre takes it elementwise,
+                    // the bias row accumulates it over rows.
+                    let dz = g.sigmoid_bwd(&self.nodes[i].value);
+                    if self.needs(*pre) {
+                        self.grad_slot(&mut grads, *pre).add_assign(&dz);
+                    }
+                    if self.needs(*bias) {
+                        self.grad_slot(&mut grads, *bias).accumulate_row_sums(&dz);
+                    }
+                }
+                Op::TanhGate(pre, bias) => {
+                    let dz = g.tanh_bwd(&self.nodes[i].value);
+                    if self.needs(*pre) {
+                        self.grad_slot(&mut grads, *pre).add_assign(&dz);
+                    }
+                    if self.needs(*bias) {
+                        self.grad_slot(&mut grads, *bias).accumulate_row_sums(&dz);
                     }
                 }
                 Op::Relu(a) => {
@@ -484,22 +540,17 @@ impl<'p> Graph<'p> {
                 Op::SliceCols(a, c0) => {
                     if self.needs(*a) {
                         let w = self.nodes[i].value.cols();
+                        let kernel = simd::active();
                         let ga = self.grad_slot(&mut grads, *a);
                         for r in 0..g.rows() {
-                            for c in 0..w {
-                                let v = ga.at(r, c0 + c) + g.at(r, c);
-                                ga.set(r, c0 + c, v);
-                            }
+                            kernel.axpy(1.0, g.row(r), &mut ga.row_mut(r)[*c0..c0 + w]);
                         }
                     }
                 }
                 Op::Row(a, r) => {
                     if self.needs(*a) {
                         let ga = self.grad_slot(&mut grads, *a);
-                        for c in 0..g.cols() {
-                            let v = ga.at(*r, c) + g.at(0, c);
-                            ga.set(*r, c, v);
-                        }
+                        simd::active().axpy(1.0, g.row(0), ga.row_mut(*r));
                     }
                 }
                 Op::Transpose(a) => {
@@ -717,6 +768,88 @@ mod tests {
             let t = g.transpose(r);
             g.sum_all(t)
         });
+    }
+
+    #[test]
+    fn gradcheck_matmul_bt() {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", crate::init::xavier_uniform(&mut rng(), 4, 3));
+        let x = Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.1 + 0.05);
+        // Check gradients through both operands: once with w as B, once as A.
+        gradcheck(&mut ps.clone(), w, 1e-2, 2e-2, {
+            let x = x.clone();
+            move |g| {
+                let xv = g.constant(x.clone());
+                let wv = g.param(w);
+                let y = g.matmul_bt(xv, wv);
+                g.sum_all(y)
+            }
+        });
+        gradcheck(&mut ps, w, 1e-2, 2e-2, move |g| {
+            let xv = g.constant(x.clone());
+            let wv = g.param(w);
+            let y = g.matmul_bt(wv, xv);
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn matmul_bt_matches_transpose_then_matmul() {
+        let ps = ParamSet::new();
+        let mut g = Graph::new(&ps);
+        let a = g.constant(Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.5));
+        let b = g.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.25));
+        let direct = g.matmul_bt(a, b);
+        let bt = g.transpose(b);
+        let via_transpose = g.matmul(a, bt);
+        assert_eq!(g.value(direct).data(), g.value(via_transpose).data());
+    }
+
+    #[test]
+    fn gradcheck_fused_gates() {
+        for gate in 0..2 {
+            let mut ps = ParamSet::new();
+            let w = ps.register("w", crate::init::uniform(&mut rng(), 3, 2, 0.8));
+            let b = ps.register("b", crate::init::uniform(&mut rng(), 1, 2, 0.8));
+            for target in [w, b] {
+                gradcheck(&mut ps.clone(), target, 1e-2, 2e-2, move |g| {
+                    let wv = g.param(w);
+                    let bv = g.param(b);
+                    let y = if gate == 0 {
+                        g.sigmoid_gate(wv, bv)
+                    } else {
+                        g.tanh_gate(wv, bv)
+                    };
+                    // Square to give asymmetric upstream gradients.
+                    let z = g.mul(y, y);
+                    g.sum_all(z)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn fused_gates_match_broadcast_then_activation() {
+        let mut ps = ParamSet::new();
+        let b = ps.register("b", crate::init::uniform(&mut rng(), 1, 3, 0.5));
+        let mut g = Graph::new(&ps);
+        let x = g.constant(Matrix::from_fn(2, 3, |r, c| (r as f32 - c as f32) * 0.4));
+        let bv = g.param(b);
+        let fused_sig = g.sigmoid_gate(x, bv);
+        let fused_tanh = g.tanh_gate(x, bv);
+        let pre = g.add_row_broadcast(x, bv);
+        let unfused_sig = g.sigmoid(pre);
+        let unfused_tanh = g.tanh(pre);
+        for i in 0..6 {
+            assert_eq!(
+                g.value(fused_sig).data()[i].to_bits(),
+                g.value(unfused_sig).data()[i].to_bits()
+            );
+            assert_eq!(
+                g.value(fused_tanh).data()[i].to_bits(),
+                g.value(unfused_tanh).data()[i].to_bits()
+            );
+        }
     }
 
     #[test]

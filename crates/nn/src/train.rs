@@ -5,7 +5,9 @@
 //! back-propagates the *average* loss of `B = 64` consecutive samples as one
 //! optimiser step. [`AccumTrainer`] reproduces that exactly: submit one
 //! gradient per sample; every `B` submissions the mean gradient (optionally
-//! clipped) is applied.
+//! clipped) is applied. Every float loop in the accumulate → average → clip →
+//! step pipeline runs on the dispatched SIMD kernels (`axpy`, `scale`, `dot`,
+//! `adam_update`), so training is bit-identical across backends.
 
 use crate::optim::Adam;
 use crate::params::{Gradients, ParamSet};

@@ -1,0 +1,465 @@
+//! Property-based bit-identity battery for the full `lead_nn::simd` kernel
+//! surface.
+//!
+//! Three layers of defence, per the determinism contract:
+//!
+//! 1. **Cross-backend parity** (property tests): every kernel × every
+//!    [`Backend::available`] over random lengths 0..=257 (empty, sub-chunk,
+//!    exact-chunk, long tails) and inputs drawn from the full IEEE value
+//!    zoo — denormals, ±0.0, and normals across the whole magnitude range —
+//!    asserting `to_bits` equality against the scalar reference.
+//! 2. **Pinned fingerprints**: an FNV-1a hash of each kernel's output bits
+//!    over a fixed deterministic sweep, so a rounding change in the *scalar
+//!    reference itself* fails loudly even on machines with no second
+//!    backend.
+//! 3. **A planted divergence**: a deliberately FMA'd fixture kernel must be
+//!    caught by the same harness the real backends pass, proving the
+//!    battery can actually detect a contraction-rounding bug.
+
+use lead_nn::simd::{AdamCoeffs, Backend, Kernel, LANES};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random f32s in roughly [-2, 2) (xorshift64*, exact
+/// power-of-two quantisation) — the same generator `simd_parity` uses.
+fn test_vector(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let q = (bits >> 44) as i64 - (1 << 19);
+        out.push(q as f32 / (1 << 18) as f32);
+    }
+    out
+}
+
+/// Lengths covering empty, sub-chunk, exact multiples of LANES, and tails.
+fn lengths() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        7,
+        LANES - 1,
+        LANES,
+        LANES + 1,
+        2 * LANES,
+        2 * LANES + 3,
+        31,
+        4 * LANES + 5,
+        257,
+    ]
+}
+
+/// FNV-1a over the `to_bits` of each result.
+fn fingerprint(bits: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bits {
+        for byte in b.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn bits_of(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Inputs from the whole IEEE f32 zoo the kernels must stay bit-identical
+/// on: full-magnitude-range normals, subnormals, and both signed zeros.
+fn wild_f32() -> impl Strategy<Value = f32> {
+    prop::num::f32::NORMAL | prop::num::f32::ZERO | prop::num::f32::SUBNORMAL
+}
+
+/// `base^n` by sequential multiplication. `powi` is avoided on purpose: its
+/// release-mode constant folding and debug-mode runtime lowering can round
+/// differently, which would make the pinned fingerprints build-mode
+/// dependent. A straight-line IEEE multiply chain folds to the same bits it
+/// computes.
+fn pow_seq(base: f32, n: u32) -> f32 {
+    let mut acc = 1.0f32;
+    for _ in 0..n {
+        acc *= base;
+    }
+    acc
+}
+
+/// Adam coefficients used by the parity harness (one plain, one AdamW).
+fn adam_coeff_sets() -> [AdamCoeffs; 2] {
+    [
+        AdamCoeffs {
+            beta1: 0.9,
+            beta2: 0.999,
+            bc1: 1.0 - pow_seq(0.9, 3),
+            bc2: 1.0 - pow_seq(0.999, 3),
+            lr: 1e-4,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        },
+        AdamCoeffs {
+            beta1: 0.9,
+            beta2: 0.999,
+            bc1: 1.0 - pow_seq(0.9, 40),
+            bc2: 1.0 - pow_seq(0.999, 40),
+            lr: 0.01,
+            eps: 1e-8,
+            weight_decay: 0.02,
+        },
+    ]
+}
+
+/// Runs every same-length kernel on inputs derived from `a`/`b` (equal
+/// lengths) against the scalar reference and returns the first kernel whose
+/// output differs bitwise — `None` means full parity. This single harness
+/// serves both the real backends (must return `None`) and the planted FMA
+/// fixture (must not).
+fn first_divergence(k: &dyn Kernel, a: &[f32], b: &[f32], coef: f32) -> Option<&'static str> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let scalar = Backend::Scalar;
+
+    if k.dot(a, b).to_bits() != scalar.dot(a, b).to_bits() {
+        return Some("dot");
+    }
+    {
+        let mut got = b.to_vec();
+        let mut want = b.to_vec();
+        k.axpy(coef, a, &mut got);
+        scalar.axpy(coef, a, &mut want);
+        if bits_of(&got) != bits_of(&want) {
+            return Some("axpy");
+        }
+    }
+    let binary: [(&'static str, fn(&dyn Kernel, &[f32], &[f32], &mut [f32])); 7] = [
+        ("add", |k, a, b, o| k.add(a, b, o)),
+        ("sub", |k, a, b, o| k.sub(a, b, o)),
+        ("mul", |k, a, b, o| k.mul(a, b, o)),
+        ("sigmoid_gate", |k, a, b, o| k.sigmoid_gate(a, b, o)),
+        ("tanh_gate", |k, a, b, o| k.tanh_gate(a, b, o)),
+        ("sigmoid_bwd", |k, a, b, o| k.sigmoid_bwd(a, b, o)),
+        ("tanh_bwd", |k, a, b, o| k.tanh_bwd(a, b, o)),
+    ];
+    for (name, run) in binary {
+        let mut got = vec![0.0f32; n];
+        let mut want = vec![0.0f32; n];
+        run(k, a, b, &mut got);
+        run(&scalar, a, b, &mut want);
+        if bits_of(&got) != bits_of(&want) {
+            return Some(name);
+        }
+    }
+    {
+        let mut got = a.to_vec();
+        let mut want = a.to_vec();
+        k.scale(&mut got, coef);
+        scalar.scale(&mut want, coef);
+        if bits_of(&got) != bits_of(&want) {
+            return Some("scale");
+        }
+    }
+    let unary: [(&'static str, fn(&dyn Kernel, &[f32], &mut [f32])); 2] = [
+        ("sigmoid", |k, a, o| k.sigmoid(a, o)),
+        ("tanh", |k, a, o| k.tanh(a, o)),
+    ];
+    for (name, run) in unary {
+        let mut got = vec![0.0f32; n];
+        let mut want = vec![0.0f32; n];
+        run(k, a, &mut got);
+        run(&scalar, a, &mut want);
+        if bits_of(&got) != bits_of(&want) {
+            return Some(name);
+        }
+    }
+    // adam_update: second moments must be non-negative, so square `b`.
+    let mut vsq = vec![0.0f32; n];
+    scalar.mul(b, b, &mut vsq);
+    for c in &adam_coeff_sets() {
+        let (mut p1, mut m1, mut v1) = (a.to_vec(), b.to_vec(), vsq.clone());
+        let (mut p2, mut m2, mut v2) = (a.to_vec(), b.to_vec(), vsq.clone());
+        k.adam_update(&mut p1, b, &mut m1, &mut v1, c);
+        scalar.adam_update(&mut p2, b, &mut m2, &mut v2, c);
+        if bits_of(&p1) != bits_of(&p2)
+            || bits_of(&m1) != bits_of(&m2)
+            || bits_of(&v1) != bits_of(&v2)
+        {
+            return Some("adam_update");
+        }
+    }
+    None
+}
+
+/// `matmul_acc` parity for one `(m, k, n)` shape, accumulating into a
+/// non-zero destination.
+fn matmul_diverges(
+    k: &dyn Kernel,
+    a: &[f32],
+    b: &[f32],
+    init: &[f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+) -> bool {
+    let mut got = init[..m * n].to_vec();
+    let mut want = init[..m * n].to_vec();
+    k.matmul_acc(&a[..m * kk], &b[..kk * n], &mut got, m, kk, n);
+    Backend::Scalar.matmul_acc(&a[..m * kk], &b[..kk * n], &mut want, m, kk, n);
+    bits_of(&got) != bits_of(&want)
+}
+
+proptest! {
+    #[test]
+    fn every_kernel_is_bit_identical_to_scalar_on_every_backend(
+        raw_a in prop::collection::vec(wild_f32(), 0..258),
+        raw_b in prop::collection::vec(wild_f32(), 0..258),
+        coef in -4.0..4.0f32,
+    ) {
+        let n = raw_a.len().min(raw_b.len());
+        let (a, b) = (&raw_a[..n], &raw_b[..n]);
+        for backend in Backend::available() {
+            let diverged = first_divergence(&backend, a, b, coef);
+            prop_assert!(
+                diverged.is_none(),
+                "backend `{}` diverged from scalar in `{}` at len {}",
+                backend.name(),
+                diverged.unwrap_or("?"),
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_acc_is_bit_identical_to_scalar_on_every_backend(
+        dims in (0..6usize, 0..6usize, 0..37usize),
+        a in prop::collection::vec(wild_f32(), 30),
+        b in prop::collection::vec(wild_f32(), 216),
+        init in prop::collection::vec(wild_f32(), 216),
+    ) {
+        let (m, kk, n) = dims;
+        for backend in Backend::available() {
+            prop_assert!(
+                !matmul_diverges(&backend, &a, &b, &init, m, kk, n),
+                "backend `{}` diverged from scalar at {}x{}x{}",
+                backend.name(), m, kk, n
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_preserve_signed_zero_and_denormals(
+        zeros in prop::collection::vec(prop::num::f32::ZERO, 1..64),
+        denorms in prop::collection::vec(prop::num::f32::SUBNORMAL, 1..64),
+    ) {
+        // tanh/sigmoid-gate of ±0.0 inputs and elementwise ops over pure
+        // denormal input must agree bitwise everywhere — the classic places
+        // a vectorised implementation with flush-to-zero or a fused add
+        // would slip.
+        let n = zeros.len().min(denorms.len());
+        for backend in Backend::available() {
+            let d = first_divergence(&backend, &zeros[..n], &denorms[..n], 0.5);
+            prop_assert!(d.is_none(), "backend `{}` diverged in `{}`",
+                backend.name(), d.unwrap_or("?"));
+        }
+    }
+}
+
+// ---- pinned per-kernel fingerprints ---------------------------------------
+
+/// The scalar reference's output bits for one kernel over the deterministic
+/// sweep. Covers every length in [`lengths`], both Adam coefficient sets,
+/// and a fixed shape set for `matmul_acc`.
+fn kernel_sweep_bits(kernel_name: &str) -> Vec<u32> {
+    let k = Backend::Scalar;
+    let mut bits = Vec::new();
+    for (case, &n) in lengths().iter().enumerate() {
+        let a = test_vector(0xa5a5_0001 + case as u64, n);
+        let b = test_vector(0x5a5a_0002 + case as u64, n);
+        match kernel_name {
+            "dot" => bits.push(k.dot(&a, &b).to_bits()),
+            "axpy" => {
+                let mut y = b.clone();
+                k.axpy(0.3, &a, &mut y);
+                bits.extend(bits_of(&y));
+            }
+            "add" | "sub" | "mul" | "sigmoid_gate" | "tanh_gate" | "sigmoid_bwd" | "tanh_bwd" => {
+                let mut out = vec![0.0f32; n];
+                match kernel_name {
+                    "add" => k.add(&a, &b, &mut out),
+                    "sub" => k.sub(&a, &b, &mut out),
+                    "mul" => k.mul(&a, &b, &mut out),
+                    "sigmoid_gate" => k.sigmoid_gate(&a, &b, &mut out),
+                    "tanh_gate" => k.tanh_gate(&a, &b, &mut out),
+                    "sigmoid_bwd" => k.sigmoid_bwd(&a, &b, &mut out),
+                    _ => k.tanh_bwd(&a, &b, &mut out),
+                }
+                bits.extend(bits_of(&out));
+            }
+            "scale" => {
+                let mut x = a.clone();
+                k.scale(&mut x, -0.7);
+                bits.extend(bits_of(&x));
+            }
+            "sigmoid" | "tanh" => {
+                let mut out = vec![0.0f32; n];
+                if kernel_name == "sigmoid" {
+                    k.sigmoid(&a, &mut out);
+                } else {
+                    k.tanh(&a, &mut out);
+                }
+                bits.extend(bits_of(&out));
+            }
+            "adam_update" => {
+                let mut vsq = vec![0.0f32; n];
+                k.mul(&b, &b, &mut vsq);
+                for c in &adam_coeff_sets() {
+                    let (mut p, mut m, mut v) = (a.clone(), b.clone(), vsq.clone());
+                    k.adam_update(&mut p, &b, &mut m, &mut v, c);
+                    bits.extend(bits_of(&p));
+                    bits.extend(bits_of(&m));
+                    bits.extend(bits_of(&v));
+                }
+            }
+            "matmul_acc" => {} // handled by fixed shapes below
+            other => panic!("unknown kernel `{other}` in sweep"),
+        }
+    }
+    if kernel_name == "matmul_acc" {
+        for (case, &(m, kk, n)) in [(0, 0, 0), (1, 1, 1), (2, 3, 4), (5, 8, 7), (8, 8, 8), (3, 17, 9)]
+            .iter()
+            .enumerate()
+        {
+            let a = test_vector(0x3333_0003 + case as u64, m * kk);
+            let b = test_vector(0x4444_0004 + case as u64, kk * n);
+            let mut out = test_vector(0x5555_0005 + case as u64, m * n);
+            k.matmul_acc(&a, &b, &mut out, m, kk, n);
+            bits.extend(bits_of(&out));
+        }
+    }
+    bits
+}
+
+#[test]
+fn scalar_kernel_fingerprints_are_pinned() {
+    // Pins the reference semantics of every kernel. If one of these fails,
+    // the determinism contract changed and every stored model downstream is
+    // suspect — audit the change, do not just update the constant.
+    let pinned: [(&str, u64); 14] = [
+        ("dot", 0xa584_0c6d_458d_3b66),
+        ("axpy", 0xb155_7dfd_b33c_0adf),
+        ("add", 0xd7d4_bbc7_56b7_e6e0),
+        ("sub", 0xd5f8_b59a_0bcd_a958),
+        ("mul", 0x76f0_51cb_3613_cad7),
+        ("scale", 0x7c45_11d8_693b_6784),
+        ("sigmoid", 0x6f50_f067_de64_bfe0),
+        ("tanh", 0x3178_8c39_a6ea_7fbf),
+        ("sigmoid_gate", 0x109f_8bc2_267b_da30),
+        ("tanh_gate", 0x3ac0_952e_c331_2ff7),
+        ("sigmoid_bwd", 0xeb27_3653_2968_7e2c),
+        ("tanh_bwd", 0x7ef7_65bc_47f1_6e93),
+        ("matmul_acc", 0x03ef_3218_63e0_9da2),
+        ("adam_update", 0xdaa8_8743_87ef_597a),
+    ];
+    let mut failures = Vec::new();
+    for (name, want) in pinned {
+        let got = fingerprint(&kernel_sweep_bits(name));
+        if got != want {
+            failures.push(format!("{name}: got {got:#018x}, pinned {want:#018x}"));
+        }
+    }
+    assert!(failures.is_empty(), "fingerprint drift:\n{}", failures.join("\n"));
+}
+
+// ---- planted divergence ----------------------------------------------------
+
+/// A deliberately broken backend: `dot` and `axpy` use fused multiply-add,
+/// the exact class of bug (contraction changing rounding) the parity battery
+/// exists to catch. Everything else delegates to the scalar reference.
+struct FmaKernel;
+
+impl Kernel for FmaKernel {
+    fn name(&self) -> &'static str {
+        "fma-fixture"
+    }
+    fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc = 0.0f32;
+        for (&x, &y) in a[..n].iter().zip(&b[..n]) {
+            acc = x.mul_add(y, acc);
+        }
+        acc
+    }
+    fn axpy(&self, a: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len().min(y.len());
+        for (yi, &xi) in y[..n].iter_mut().zip(&x[..n]) {
+            *yi = a.mul_add(xi, *yi);
+        }
+    }
+    fn add(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        Backend::Scalar.add(a, b, out);
+    }
+    fn sub(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        Backend::Scalar.sub(a, b, out);
+    }
+    fn mul(&self, a: &[f32], b: &[f32], out: &mut [f32]) {
+        Backend::Scalar.mul(a, b, out);
+    }
+    fn scale(&self, x: &mut [f32], s: f32) {
+        Backend::Scalar.scale(x, s);
+    }
+    fn sigmoid(&self, a: &[f32], out: &mut [f32]) {
+        Backend::Scalar.sigmoid(a, out);
+    }
+    fn tanh(&self, a: &[f32], out: &mut [f32]) {
+        Backend::Scalar.tanh(a, out);
+    }
+    fn sigmoid_gate(&self, pre: &[f32], bias: &[f32], out: &mut [f32]) {
+        Backend::Scalar.sigmoid_gate(pre, bias, out);
+    }
+    fn tanh_gate(&self, pre: &[f32], bias: &[f32], out: &mut [f32]) {
+        Backend::Scalar.tanh_gate(pre, bias, out);
+    }
+    fn sigmoid_bwd(&self, g: &[f32], y: &[f32], out: &mut [f32]) {
+        Backend::Scalar.sigmoid_bwd(g, y, out);
+    }
+    fn tanh_bwd(&self, g: &[f32], y: &[f32], out: &mut [f32]) {
+        Backend::Scalar.tanh_bwd(g, y, out);
+    }
+    fn matmul_acc(&self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        Backend::Scalar.matmul_acc(a, b, out, m, k, n);
+    }
+    fn adam_update(&self, p: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], c: &AdamCoeffs) {
+        Backend::Scalar.adam_update(p, g, m, v, c);
+    }
+}
+
+#[test]
+fn planted_fma_kernel_is_caught_by_the_battery() {
+    // The same harness the real backends pass must flag the FMA'd fixture —
+    // otherwise the battery proves nothing. The quantised test vectors make
+    // products inexact, so contraction necessarily changes rounding.
+    let a = test_vector(0xdead_0001, 257);
+    let b = test_vector(0xbeef_0002, 257);
+    assert_eq!(
+        first_divergence(&FmaKernel, &a, &b, 0.3),
+        Some("dot"),
+        "the planted FMA dot kernel was NOT detected — the parity harness is blind"
+    );
+    // And the axpy plant is caught independently of dot.
+    let mut got = b.clone();
+    let mut want = b.clone();
+    FmaKernel.axpy(0.3, &a, &mut got);
+    Backend::Scalar.axpy(0.3, &a, &mut want);
+    assert_ne!(bits_of(&got), bits_of(&want), "planted FMA axpy not detected");
+}
+
+#[test]
+fn real_backends_pass_the_planted_divergence_inputs() {
+    // Sanity: on the very inputs that catch the fixture, real backends agree.
+    let a = test_vector(0xdead_0001, 257);
+    let b = test_vector(0xbeef_0002, 257);
+    for backend in Backend::available() {
+        assert_eq!(first_divergence(&backend, &a, &b, 0.3), None);
+    }
+}

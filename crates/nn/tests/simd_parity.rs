@@ -91,7 +91,21 @@ fn selected_backend_is_bit_identical_to_scalar() {
 }
 
 #[test]
-fn mismatched_lengths_use_the_common_prefix_on_every_backend() {
+#[cfg(debug_assertions)]
+#[should_panic(expected = "dot length mismatch")]
+fn mismatched_lengths_panic_in_debug_builds() {
+    // Regression test: `dot` used to silently truncate mismatched operands
+    // to their common prefix. That is now a caller bug caught by
+    // `debug_assert!`; release builds keep the deterministic common-prefix
+    // fallback documented on `lead_nn::simd`.
+    let a = test_vector(0x0a, 3 * LANES + 2);
+    let b = test_vector(0x0b, LANES + 5);
+    let _ = Backend::Scalar.dot(&a, &b);
+}
+
+#[test]
+#[cfg(not(debug_assertions))]
+fn mismatched_lengths_use_the_common_prefix_in_release_builds() {
     let a = test_vector(0x0a, 3 * LANES + 2);
     let b = test_vector(0x0b, LANES + 5);
     let n = a.len().min(b.len());

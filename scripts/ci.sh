@@ -16,6 +16,18 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# The SIMD determinism contract is only as good as its weakest backend: run
+# the NN suite again pinned to the scalar reference, so a bug that only the
+# scalar path has (or that AVX2 masks) cannot slip through on AVX2 machines.
+echo "==> LEAD_SIMD_FORCE=scalar cargo test -q -p lead-nn"
+LEAD_SIMD_FORCE=scalar cargo test -q -p lead-nn
+
+# Planted-divergence self-test: the parity battery must actually catch a
+# kernel whose rounding differs (an FMA'd dot). If this test vanishes or
+# stops detecting the fixture, the whole parity gate is decorative.
+echo "==> simd parity self-test (planted FMA kernel must be caught)"
+cargo test -q -p lead-nn --test proptest_simd planted_fma_kernel_is_caught_by_the_battery
+
 # Lint fixtures are deliberately unformatted test inputs, so they are
 # excluded (rustfmt's `ignore` config is nightly-only; exclusion happens in
 # the file list instead).
@@ -58,9 +70,9 @@ fi
 echo "==> bench-ratchet self-test (the gate must catch a planted regression)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- --self-test
 
-echo "==> bench-ratchet gate (results/BENCH_6.json vs bench.baseline)"
+echo "==> bench-ratchet gate (results/BENCH_8.json vs bench.baseline)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- \
-    --write results/BENCH_6.json --baseline bench.baseline
+    --write results/BENCH_8.json --baseline bench.baseline
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
