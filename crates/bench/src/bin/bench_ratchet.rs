@@ -9,7 +9,7 @@
 //! ```
 //!
 //! - `--write PATH` — run the suite and write the canonical
-//!   `bench-ratchet/v1` JSON (CI writes `results/BENCH_8.json`).
+//!   `bench-ratchet/v1` JSON (CI writes `results/BENCH_9.json`).
 //! - `--baseline PATH` — compare the run against a baseline file; exit 1
 //!   when any fingerprint-matched bench exceeds the headroom ratio. Stale
 //!   and new entries are reported but do not fail the gate.
@@ -33,6 +33,7 @@ use lead_core::encoding::{Autoencoder, EncoderKind};
 use lead_core::features::{TrajectoryFeatures, FEATURE_DIM};
 use lead_core::processing::{enumerate_candidates, ProcessedTrajectory};
 use lead_core::streaming::IncrementalStayExtractor;
+use lead_data::records::{TrajectoryReader, TrajectoryWriter};
 use lead_geo::GpsPoint;
 use lead_nn::Matrix;
 use lead_synth::{generate_dataset, SynthConfig};
@@ -225,6 +226,72 @@ fn run_suite(sample_ms: u64) -> Vec<BenchRecord> {
                 std::hint::black_box(ex.on_point_appended(&dwell[..=i]));
             }
             std::hint::black_box(ex.finish(&dwell));
+        }),
+    );
+
+    // ---- data: binary container decode of a 10k-point fleet ----------------
+    // Grid-aligned coordinates engage the fixed-point (delta-varint) mode —
+    // the production shape for GPS feeds on the 1e-7° grid.
+    let fleet: Vec<(u32, lead_geo::Trajectory)> = (0..10u32)
+        .map(|truck| {
+            let base_lat = 310_000_000 + i64::from(truck) * 300_000;
+            let base_lng = 1_210_000_000 + i64::from(truck) * 500_000;
+            let points = (0..1_000)
+                .map(|i| {
+                    GpsPoint::new(
+                        (base_lat + i * 900) as f64 / 1e7,
+                        (base_lng + i * 1_300) as f64 / 1e7,
+                        i64::from(truck) * 100_000 + i * 20,
+                    )
+                })
+                .collect();
+            (truck, lead_geo::Trajectory::new(points))
+        })
+        .collect();
+    let bin_bytes = {
+        let mut w = TrajectoryWriter::new(std::io::Cursor::new(Vec::new()))
+            .expect("in-memory container header");
+        for (id, tr) in &fleet {
+            w.write(*id, tr).expect("encode bench trajectory");
+        }
+        w.finish().expect("finish bench container").into_inner()
+    };
+    push(
+        "data/read_binary_10k",
+        format!(
+            "trucks=10 points_per=1000 mode=fixed bytes={}",
+            bin_bytes.len()
+        ),
+        measure(sample_ms, || {
+            let mut r = TrajectoryReader::new(std::io::Cursor::new(&bin_bytes))
+                .expect("open bench container");
+            while let Some(item) = r.next_record().expect("decode bench record") {
+                std::hint::black_box(item);
+            }
+        }),
+    );
+
+    // ---- data: CSV parse + binary encode of the same fleet -----------------
+    let csv_text = {
+        let refs: Vec<(u32, &lead_geo::Trajectory)> =
+            fleet.iter().map(|(id, t)| (*id, t)).collect();
+        let mut buf = Vec::new();
+        lead_geo::csv::write_trajectories(&refs, &mut buf).expect("render bench CSV");
+        String::from_utf8(buf).expect("CSV is UTF-8")
+    };
+    push(
+        "data/convert_csv_10k",
+        format!("trucks=10 points_per=1000 csv_bytes={}", csv_text.len()),
+        measure(sample_ms, || {
+            let reader =
+                lead_geo::csv::CsvReader::new(csv_text.as_bytes()).expect("open bench CSV");
+            let mut w = TrajectoryWriter::new(std::io::Cursor::new(Vec::new()))
+                .expect("in-memory container header");
+            for item in reader {
+                let (id, tr) = item.expect("parse bench CSV row");
+                w.write(id, &tr).expect("encode bench trajectory");
+            }
+            std::hint::black_box(w.finish().expect("finish bench container").into_inner());
         }),
     );
 

@@ -9,9 +9,8 @@
 use crate::config::LeadConfig;
 use lead_nn::layers::{Linear, StackedBiLstm};
 use lead_nn::optim::Adam;
-use lead_nn::train::{AccumTrainer, EarlyStopping};
+use lead_nn::train::{AccumTrainer, EarlyStopping, EpochPlan};
 use lead_nn::{Graph, Matrix, ParamSet, Var};
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// One training item: a group's subgroup c-vec lists paired with its flat
@@ -154,7 +153,7 @@ impl GroupDetector {
         .with_clip_norm(config.grad_clip_norm)
         .with_probe(probe, scope);
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
-        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut plan = EpochPlan::new(items.len());
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
         let stack = &self.stack;
@@ -163,9 +162,9 @@ impl GroupDetector {
             let _epoch_span = names
                 .as_ref()
                 .map(|(epoch_name, _, _)| lead_obs::clock::span(probe, epoch_name));
-            order.shuffle(rng);
+            plan.reshuffle(rng);
             let mut total = 0.0f64;
-            for window in order.chunks(config.batch_accumulation) {
+            for window in plan.windows(config.batch_accumulation) {
                 // Augmentation: jitter the frozen compressed vectors so the
                 // detector cannot memorise exact embeddings of the (small)
                 // training fleet. Noise is drawn serially, in item order,

@@ -7,9 +7,8 @@
 use crate::config::LeadConfig;
 use lead_nn::layers::Linear;
 use lead_nn::optim::Adam;
-use lead_nn::train::{AccumTrainer, EarlyStopping};
+use lead_nn::train::{AccumTrainer, EarlyStopping, EpochPlan};
 use lead_nn::{Graph, Matrix, ParamSet, Var};
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// The per-candidate MLP scorer.
@@ -123,14 +122,14 @@ impl MlpDetector {
         .with_clip_norm(config.grad_clip_norm)
         .with_probe(probe, "det.mlp");
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
-        let mut order: Vec<usize> = (0..items.len()).collect();
+        let mut plan = EpochPlan::new(items.len());
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
         for _epoch in 0..config.detector_max_epochs {
             let _epoch_span = lead_obs::clock::span(probe, "det.mlp.epoch");
-            order.shuffle(rng);
+            plan.reshuffle(rng);
             let mut total = 0.0f64;
-            for &i in &order {
+            for &i in plan.order() {
                 let (c_vecs, truth_idx) = &items[i];
                 let mut g = Graph::new(&self.params);
                 let logits: Vec<Var> = c_vecs.iter().map(|c| self.logit(&mut g, c)).collect();

@@ -22,9 +22,8 @@ use crate::config::LeadConfig;
 use crate::features::{CandidateFeatures, TrajectoryFeatures, FEATURE_DIM};
 use crate::processing::Candidate;
 use lead_nn::optim::Adam;
-use lead_nn::train::{AccumTrainer, EarlyStopping};
+use lead_nn::train::{AccumTrainer, EarlyStopping, EpochPlan};
 use lead_nn::{Graph, Matrix, ParamSet, Var};
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Which encoder architecture to build.
@@ -300,20 +299,20 @@ impl Autoencoder {
         .with_clip_norm(config.grad_clip_norm)
         .with_probe(probe, "ae");
         let mut stopper = EarlyStopping::new(config.early_stopping_patience, 1e-4);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut plan = EpochPlan::new(samples.len());
         let mut train_curve = Vec::new();
         let mut val_curve = Vec::new();
         let arch = &self.arch;
         let hidden = self.hidden;
         for _epoch in 0..config.ae_max_epochs {
             let _epoch_span = lead_obs::clock::span(probe, "ae.epoch");
-            order.shuffle(rng);
+            plan.reshuffle(rng);
             let mut total = 0.0f64;
             // Each accumulation window's forward/backward passes run
             // data-parallel against the parameter snapshot; gradients are
             // submitted in item order, so every `num_threads` value yields
             // the exact optimiser trajectory of the serial per-sample loop.
-            for window in order.chunks(config.batch_accumulation) {
+            for window in plan.windows(config.batch_accumulation) {
                 let losses = trainer.submit_window(
                     &mut self.params,
                     config.num_threads,

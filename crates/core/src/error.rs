@@ -8,6 +8,7 @@
 
 use crate::config::ConfigError;
 use crate::persist::LoadError;
+use crate::source::SourceError;
 
 /// Any failure surfaced by the public [`crate::pipeline::Lead`] API.
 #[derive(Debug)]
@@ -19,6 +20,8 @@ pub enum LeadError {
     Load(LoadError),
     /// An underlying I/O operation failed.
     Io(std::io::Error),
+    /// A streaming sample source failed to read or validate.
+    Source(SourceError),
     /// Every training sample was dropped during processing — fewer than two
     /// stay points, or the ground truth did not map onto extracted stays.
     NoTrainableSamples {
@@ -33,6 +36,7 @@ impl std::fmt::Display for LeadError {
             LeadError::Config(e) => write!(f, "invalid configuration: {e}"),
             LeadError::Load(e) => write!(f, "model load failed: {e}"),
             LeadError::Io(e) => write!(f, "i/o error: {e}"),
+            LeadError::Source(e) => write!(f, "sample source failed: {e}"),
             LeadError::NoTrainableSamples { skipped } => write!(
                 f,
                 "no training sample survived processing ({skipped} skipped)"
@@ -47,6 +51,7 @@ impl std::error::Error for LeadError {
             LeadError::Config(e) => Some(e),
             LeadError::Load(e) => Some(e),
             LeadError::Io(e) => Some(e),
+            LeadError::Source(e) => Some(e),
             LeadError::NoTrainableSamples { .. } => None,
         }
     }
@@ -67,6 +72,12 @@ impl From<LoadError> for LeadError {
 impl From<std::io::Error> for LeadError {
     fn from(e: std::io::Error) -> Self {
         LeadError::Io(e)
+    }
+}
+
+impl From<SourceError> for LeadError {
+    fn from(e: SourceError) -> Self {
+        LeadError::Source(e)
     }
 }
 

@@ -23,7 +23,10 @@
 //! 32-dimensional point features), [`label`] (ground-truth handling),
 //! [`config`] (every hyper-parameter of Section VI-A, at its paper value),
 //! [`persist`] (save/load of trained models), [`error`] (the unified
-//! [`LeadError`] surface of the fallible public API), and [`streaming`]
+//! [`LeadError`] surface of the fallible public API), [`source`]
+//! (shardable [`SampleSource`] ingestion backing
+//! [`pipeline::Lead::fit_streaming`], plus bridges to the `lead-data`
+//! binary container format), and [`streaming`]
 //! (online detection over live GPS feeds — an extension beyond the paper's
 //! batch pipeline). Hot paths accept a `lead_obs` probe
 //! ([`pipeline::DetectOptions`], [`pipeline::Lead::fit_opts`]) for
@@ -43,11 +46,13 @@ pub mod persist;
 pub mod pipeline;
 pub mod poi;
 pub mod processing;
+pub mod source;
 pub mod streaming;
 
 pub use config::{ConfigError, LeadConfig};
 pub use error::LeadError;
 pub use label::TruthLabel;
-pub use pipeline::{DetectOptions, DetectionResult, Lead, LeadOptions, TrainingReport};
+pub use pipeline::{DetectOptions, DetectionResult, FitOptions, Lead, LeadOptions, TrainingReport};
 pub use poi::{Poi, PoiCategory, PoiDatabase, PoiRole, NUM_POI_CATEGORIES};
 pub use processing::{Candidate, ProcessedTrajectory, StayPoint};
+pub use source::{BinarySampleShards, SampleSource, SliceSamples, SourceError, VecSamples};

@@ -427,6 +427,126 @@ mod tests {
         assert!(Lead::read_from(&mut buf.as_slice()).is_err());
     }
 
+    /// One fitted model's serialized text, shared across the corruption
+    /// matrix so each damage pattern doesn't pay for its own training run.
+    fn model_text() -> &'static str {
+        static TEXT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+        TEXT.get_or_init(|| {
+            let (samples, db) = tiny_world();
+            let cfg = LeadConfig::fast_test();
+            let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::full()).expect("fit");
+            let mut buf = Vec::new();
+            lead.write_to(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        })
+    }
+
+    #[test]
+    fn truncation_at_every_line_boundary_is_a_typed_error() {
+        let text = model_text();
+        let lines: Vec<&str> = text.lines().collect();
+        // Cut the file after every line in turn: each prefix must be
+        // rejected with a typed error (unexpected EOF, a short weight
+        // section, or a missing end-model marker) — never accepted, never
+        // a panic.
+        for cut in 0..lines.len() {
+            let prefix = lines[..cut].join("\n");
+            match Lead::read_from(&mut prefix.as_bytes()) {
+                Err(LoadError::Format(_) | LoadError::Params(_)) => {}
+                Err(other) => panic!("cut after line {cut}: unexpected error kind {other}"),
+                Ok(_) => panic!("cut after line {cut}: truncated model accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_end_marker_is_a_typed_error() {
+        let text = model_text().replace("end-model", "");
+        match Lead::read_from(&mut text.as_bytes()) {
+            Err(LoadError::Format(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("model without end marker accepted"),
+        }
+    }
+
+    #[test]
+    fn corrupted_weight_hex_is_a_typed_error() {
+        // Damage the first weight row after the autoencoder section header:
+        // hex parsing must fail with a typed params/format error.
+        let text = model_text();
+        let mut out = Vec::new();
+        let mut damage_next = false;
+        for line in text.lines() {
+            if damage_next {
+                out.push("zzzz not hex".to_string());
+                damage_next = false;
+            } else {
+                if line == "section autoencoder" {
+                    damage_next = true;
+                }
+                out.push(line.to_string());
+            }
+        }
+        let tampered = out.join("\n");
+        match Lead::read_from(&mut tampered.as_bytes()) {
+            Err(LoadError::Params(_) | LoadError::Format(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("model with corrupted weights accepted"),
+        }
+    }
+
+    #[test]
+    fn unknown_section_is_a_typed_error() {
+        let text = model_text().replace("section autoencoder", "section flux_capacitor");
+        match Lead::read_from(&mut text.as_bytes()) {
+            Err(LoadError::Format(m)) => assert!(m.contains("flux_capacitor"), "{m}"),
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("model with unknown section accepted"),
+        }
+    }
+
+    #[test]
+    fn normalizer_width_mismatch_is_a_typed_error() {
+        // Overstate the normaliser dimension: the mean/std rows no longer
+        // match the declared width.
+        let text = model_text();
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if let Some(dim) = l.strip_prefix("normalizer ") {
+                    let n: usize = dim.trim().parse().unwrap();
+                    format!("normalizer {}", n + 1)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match Lead::read_from(&mut tampered.as_bytes()) {
+            Err(LoadError::Format(m)) => assert!(m.contains("normalizer"), "{m}"),
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("model with mismatched normalizer accepted"),
+        }
+    }
+
+    #[test]
+    fn section_for_an_absent_detector_is_a_typed_error() {
+        // A NoBac model has no backward detector; grafting a backward
+        // section onto it must be rejected, not silently mis-assigned.
+        let (samples, db) = tiny_world();
+        let cfg = LeadConfig::fast_test();
+        let (lead, _) = Lead::fit(&samples, &db, &cfg, LeadOptions::no_bac()).expect("fit");
+        let mut buf = Vec::new();
+        lead.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let tampered = text.replace("section forward_detector", "section backward_detector");
+        match Lead::read_from(&mut tampered.as_bytes()) {
+            Err(LoadError::Format(m)) => assert!(m.contains("backward"), "{m}"),
+            Err(other) => panic!("unexpected error kind: {other}"),
+            Ok(_) => panic!("backward section accepted by a model without one"),
+        }
+    }
+
     #[test]
     fn invalid_stored_config_is_a_typed_error() {
         let (samples, db) = tiny_world();

@@ -19,6 +19,7 @@ use crate::features::{FeatureExtractor, Normalizer, TrajectoryFeatures};
 use crate::label::{truth_stay_indices, TruthLabel};
 use crate::poi::PoiDatabase;
 use crate::processing::{Candidate, ProcessedTrajectory};
+use crate::source::{SampleSource, SliceSamples};
 use lead_nn::Matrix;
 use lead_obs::clock;
 use lead_obs::probe::{Probe, NOOP};
@@ -368,16 +369,114 @@ impl Lead {
         options: LeadOptions,
         probe: &dyn Probe,
     ) -> Result<(Self, TrainingReport), LeadError> {
+        let mut train = SliceSamples::new(samples);
+        let mut val = SliceSamples::new(val_samples);
+        Self::fit_core(
+            &mut train,
+            Some(&mut val),
+            poi_db,
+            config,
+            options,
+            probe,
+            None,
+        )
+    }
+
+    /// The offline stage over streaming [`SampleSource`]s: identical
+    /// training to [`Self::fit_opts`], but raw samples are ingested one
+    /// shard at a time, so peak raw-sample memory is bounded by the largest
+    /// shard instead of the whole dataset. For the same seed and dataset the
+    /// trained model, loss curves, and report are **bit-identical** to the
+    /// in-RAM path at any shard size (pinned by
+    /// `crates/core/tests/streaming_parity.rs`).
+    ///
+    /// When `val` is `None`, [`FitOptions::val_fraction`] can carve a
+    /// validation split off the tail of the ingested training set (by raw
+    /// sample count, before processing drops unusable samples).
+    ///
+    /// # Errors
+    /// [`LeadError::Config`] on an invalid configuration or
+    /// [`FitOptions::val_fraction`] outside `[0, 1)` (or combined with an
+    /// explicit `val` source); [`LeadError::Source`] when a source fails to
+    /// read or validate; [`LeadError::NoTrainableSamples`] when no sample
+    /// survives processing.
+    pub fn fit_streaming(
+        train: &mut dyn SampleSource,
+        val: Option<&mut dyn SampleSource>,
+        poi_db: &PoiDatabase,
+        config: &LeadConfig,
+        options: LeadOptions,
+        fit: &FitOptions<'_>,
+    ) -> Result<(Self, TrainingReport), LeadError> {
+        if let Some(f) = fit.val_fraction {
+            if !(0.0..1.0).contains(&f) {
+                return Err(LeadError::Config(ConfigError {
+                    field: "val_fraction",
+                    reason: "validation fraction must lie in [0, 1)",
+                }));
+            }
+            if val.is_some() {
+                return Err(LeadError::Config(ConfigError {
+                    field: "val_fraction",
+                    reason:
+                        "cannot combine a validation fraction with an explicit validation source",
+                }));
+            }
+        }
+        let cfg_override;
+        let config = if let Some(t) = fit.num_threads {
+            let mut cfg = config.clone();
+            cfg.num_threads = t;
+            cfg_override = cfg;
+            &cfg_override
+        } else {
+            config
+        };
+        Self::fit_core(
+            train,
+            val,
+            poi_db,
+            config,
+            options,
+            fit.probe,
+            fit.val_fraction,
+        )
+    }
+
+    /// The single fitting core every public `fit*` entry point delegates to.
+    /// Generalises only ingestion: everything downstream of the processed
+    /// sample vectors (normaliser, autoencoder, detectors, every RNG draw)
+    /// is byte-for-byte the historical in-RAM path.
+    fn fit_core(
+        train: &mut dyn SampleSource,
+        val: Option<&mut dyn SampleSource>,
+        poi_db: &PoiDatabase,
+        config: &LeadConfig,
+        options: LeadOptions,
+        probe: &dyn Probe,
+        val_fraction: Option<f64>,
+    ) -> Result<(Self, TrainingReport), LeadError> {
         config.validate()?;
         let _fit_span = clock::span(probe, "fit");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut report = TrainingReport::default();
 
         // ---- processing + truth projection -------------------------------
-        let mut skipped = 0usize;
-        let mut process_set = |set: &[TrainSample]| -> Vec<(ProcessedTrajectory, Candidate)> {
-            let maybe: Vec<Option<(ProcessedTrajectory, Candidate)>> =
-                lead_nn::par::par_map(config.num_threads, set, |_, s| {
+        // Ingestion is shard-at-a-time: only one shard's raw samples live in
+        // RAM at once. `par_map` is order-preserving and per-item
+        // independent, so concatenating per-shard results equals one
+        // `par_map` over the whole dataset — every downstream stage (and
+        // every RNG draw) is bit-identical to the in-RAM path.
+        let process_source = |src: &mut dyn SampleSource| -> Result<
+            Vec<Option<(ProcessedTrajectory, Candidate)>>,
+            LeadError,
+        > {
+            let mut out = Vec::new();
+            let mut batch: Vec<TrainSample> = Vec::new();
+            for shard in 0..src.num_shards() {
+                batch.clear();
+                src.read_shard(shard, &mut |s| batch.push(s))?;
+                out.extend(lead_nn::par::par_map(config.num_threads, &batch, |_, s| {
                     let proc = ProcessedTrajectory::from_raw_probed(&s.raw, config, probe);
                     match truth_stay_indices(&proc, &s.truth) {
                         Some((l, u)) if proc.num_stay_points() >= 2 => {
@@ -385,12 +484,29 @@ impl Lead {
                         }
                         _ => None,
                     }
-                });
-            skipped += maybe.iter().filter(|o| o.is_none()).count();
-            maybe.into_iter().flatten().collect()
+                }));
+            }
+            Ok(out)
         };
-        let processed = process_set(samples);
-        let val_processed = process_set(val_samples);
+        let mut maybe_train = process_source(train)?;
+        let maybe_val = match val {
+            Some(v) => process_source(v)?,
+            None => {
+                let n_val = val_fraction
+                    .map(|f| ((maybe_train.len() as f64) * f).floor() as usize)
+                    .unwrap_or(0);
+                maybe_train.split_off(maybe_train.len() - n_val)
+            }
+        };
+        let skipped = maybe_train
+            .iter()
+            .chain(&maybe_val)
+            .filter(|o| o.is_none())
+            .count();
+        let processed: Vec<(ProcessedTrajectory, Candidate)> =
+            maybe_train.into_iter().flatten().collect();
+        let val_processed: Vec<(ProcessedTrajectory, Candidate)> =
+            maybe_val.into_iter().flatten().collect();
         report.skipped_samples = skipped;
         if processed.is_empty() {
             return Err(LeadError::NoTrainableSamples { skipped });
@@ -816,6 +932,69 @@ impl<'p> DetectOptions<'p> {
             num_threads: self.num_threads,
             probe,
         }
+    }
+}
+
+/// Options for one streaming fit ([`Lead::fit_streaming`]).
+///
+/// The `Default` instance reproduces [`Lead::fit_with_val`] exactly: the
+/// configuration's thread count, no instrumentation, no carved validation
+/// split.
+#[derive(Clone, Copy)]
+pub struct FitOptions<'p> {
+    /// Worker threads for the sample-parallel stages; `None` uses
+    /// `config.num_threads`. Every value yields bit-identical results (the
+    /// `lead_nn::par` contract).
+    pub num_threads: Option<usize>,
+    /// Observability sink receiving the same spans, counters, and curves as
+    /// [`Lead::fit_opts`]. Metrics are write-only: the trained model is
+    /// bit-identical for any probe.
+    pub probe: &'p dyn Probe,
+    /// When no explicit validation source is given, carve this fraction
+    /// (`[0, 1)`) off the tail of the ingested training set — by raw sample
+    /// count, before processing drops unusable samples — and use it as the
+    /// validation split. `None` (or `Some(0.0)`) trains without validation.
+    pub val_fraction: Option<f64>,
+}
+
+impl Default for FitOptions<'_> {
+    fn default() -> Self {
+        FitOptions {
+            num_threads: None,
+            probe: &NOOP,
+            val_fraction: None,
+        }
+    }
+}
+
+impl<'p> FitOptions<'p> {
+    /// Default options: configured thread count, no probe, no carved split.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker-thread count for this fit.
+    #[must_use]
+    pub fn with_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = Some(num_threads);
+        self
+    }
+
+    /// Attaches an observability probe for this fit.
+    #[must_use]
+    pub fn with_probe<'q>(self, probe: &'q dyn Probe) -> FitOptions<'q> {
+        FitOptions {
+            num_threads: self.num_threads,
+            probe,
+            val_fraction: self.val_fraction,
+        }
+    }
+
+    /// Carves a validation split off the ingested training set.
+    #[must_use]
+    pub fn with_val_fraction(mut self, fraction: f64) -> Self {
+        self.val_fraction = Some(fraction);
+        self
     }
 }
 

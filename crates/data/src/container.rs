@@ -1,0 +1,290 @@
+//! The container layer: header, record frames, checksums, end marker.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic "LEADDATA"
+//! 8       2     format version (currently 1)
+//! 10      2     record-kind tag (RecordKind::tag)
+//! 12      8     record count (patched by ContainerWriter::finish)
+//! 20      ...   count x record frame
+//! end-4   4     end marker "LEND"
+//! ```
+//!
+//! Each record frame is `len: u32 | checksum: u64 | payload: len bytes`,
+//! where `checksum` is the FNV-1a hash of the payload. The frame layer knows
+//! nothing about payload contents; structural validation lives in
+//! [`crate::records`].
+
+use crate::codec::fnv1a;
+use crate::error::{DataError, RecordKind};
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// The eight magic bytes every container file starts with.
+pub const MAGIC: [u8; 8] = *b"LEADDATA";
+
+/// The format version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// The four end-marker bytes following the last record.
+pub const END_MARKER: [u8; 4] = *b"LEND";
+
+/// Upper bound on a single record's payload length: a corrupted length
+/// field must not drive a multi-gigabyte allocation.
+pub const MAX_RECORD_LEN: u64 = 1 << 30;
+
+/// Byte offset of the record-count field (patched on finish).
+const COUNT_OFFSET: u64 = 12;
+
+/// Writes a container file record by record.
+///
+/// The writer needs `Seek` because the header's record count is a
+/// placeholder until [`ContainerWriter::finish`] patches it — this keeps
+/// writing single-pass for producers that do not know their count up front.
+#[derive(Debug)]
+pub struct ContainerWriter<W: Write + Seek> {
+    w: W,
+    count: u64,
+}
+
+impl<W: Write + Seek> ContainerWriter<W> {
+    /// Starts a container of the given kind, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Io`] when the header cannot be written.
+    pub fn new(mut w: W, kind: RecordKind) -> Result<Self, DataError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&kind.tag().to_le_bytes())?;
+        w.write_all(&0u64.to_le_bytes())?;
+        Ok(Self { w, count: 0 })
+    }
+
+    /// Appends one record frame (length, FNV-1a checksum, payload).
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::OversizedRecord`] when `payload` exceeds
+    /// [`MAX_RECORD_LEN`]; [`DataError::Io`] on write failure.
+    pub fn write_record(&mut self, payload: &[u8]) -> Result<(), DataError> {
+        let len = payload.len() as u64;
+        if len > MAX_RECORD_LEN {
+            return Err(DataError::OversizedRecord {
+                record: self.count,
+                len,
+            });
+        }
+        self.w.write_all(&(len as u32).to_le_bytes())?;
+        self.w.write_all(&fnv1a(payload).to_le_bytes())?;
+        self.w.write_all(payload)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// How many records have been written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the end marker, patches the header's record count, and
+    /// returns the underlying writer (flushed).
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Io`] on write, seek, or flush failure.
+    pub fn finish(mut self) -> Result<W, DataError> {
+        self.w.write_all(&END_MARKER)?;
+        self.w.seek(SeekFrom::Start(COUNT_OFFSET))?;
+        self.w.write_all(&self.count.to_le_bytes())?;
+        self.w.seek(SeekFrom::End(0))?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Reads a container file sequentially, verifying header, per-record
+/// checksums, and the end marker.
+#[derive(Debug)]
+pub struct ContainerReader<R: Read> {
+    r: R,
+    count: u64,
+    next: u64,
+    end_verified: bool,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> ContainerReader<R> {
+    /// Opens a container, validating magic, version, and kind.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Truncated`] when the header is incomplete,
+    /// [`DataError::BadMagic`] / [`DataError::UnsupportedVersion`] /
+    /// [`DataError::UnknownKind`] / [`DataError::WrongKind`] on header
+    /// mismatches, and [`DataError::Io`] on read failure.
+    pub fn new(mut r: R, expected: RecordKind) -> Result<Self, DataError> {
+        let mut header = [0u8; 20];
+        read_exact(&mut r, &mut header, 0)?;
+        let (magic, rest) = header.split_at(8);
+        if magic != MAGIC {
+            let mut found = [0u8; 8];
+            found.copy_from_slice(magic);
+            return Err(DataError::BadMagic { found });
+        }
+        let (version_bytes, rest) = rest.split_at(2);
+        let version = u16::from_le_bytes(le2(version_bytes));
+        if version != VERSION {
+            return Err(DataError::UnsupportedVersion { found: version });
+        }
+        let (kind_bytes, count_bytes) = rest.split_at(2);
+        let tag = u16::from_le_bytes(le2(kind_bytes));
+        let kind = RecordKind::from_tag(tag).ok_or(DataError::UnknownKind { found: tag })?;
+        if kind != expected {
+            return Err(DataError::WrongKind {
+                expected,
+                found: kind,
+            });
+        }
+        let count = u64::from_le_bytes(le8(count_bytes));
+        Ok(Self {
+            r,
+            count,
+            next: 0,
+            end_verified: false,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The record count declared in the header.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Reads the next record's payload, or `None` after the last record
+    /// (at which point the end marker has been verified).
+    ///
+    /// The returned slice borrows the reader's internal buffer and is valid
+    /// until the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::Truncated`], [`DataError::OversizedRecord`],
+    /// [`DataError::ChecksumMismatch`], [`DataError::MissingEndMarker`], or
+    /// [`DataError::Io`].
+    pub fn next_record(&mut self) -> Result<Option<&[u8]>, DataError> {
+        if self.next == self.count {
+            if !self.end_verified {
+                let mut marker = [0u8; 4];
+                read_exact(&mut self.r, &mut marker, self.next)
+                    .map_err(|_| DataError::MissingEndMarker)?;
+                if marker != END_MARKER {
+                    return Err(DataError::MissingEndMarker);
+                }
+                self.end_verified = true;
+            }
+            return Ok(None);
+        }
+        let record = self.next;
+        let mut frame = [0u8; 12];
+        read_exact(&mut self.r, &mut frame, record)?;
+        let (len_bytes, checksum_bytes) = frame.split_at(4);
+        let len = u64::from(u32::from_le_bytes(le4(len_bytes)));
+        let stored = u64::from_le_bytes(le8(checksum_bytes));
+        if len > MAX_RECORD_LEN {
+            return Err(DataError::OversizedRecord { record, len });
+        }
+        self.buf.resize(len as usize, 0);
+        read_exact(&mut self.r, &mut self.buf, record)?;
+        let computed = fnv1a(&self.buf);
+        if computed != stored {
+            return Err(DataError::ChecksumMismatch {
+                record,
+                stored,
+                computed,
+            });
+        }
+        self.next += 1;
+        Ok(Some(&self.buf))
+    }
+}
+
+/// `read_exact` with end-of-file mapped to [`DataError::Truncated`].
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], record: u64) -> Result<(), DataError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            DataError::Truncated { record }
+        } else {
+            DataError::Io(e)
+        }
+    })
+}
+
+/// Infallible 2-byte array view of a slice already known to be that long.
+fn le2(bytes: &[u8]) -> [u8; 2] {
+    let mut arr = [0u8; 2];
+    arr.copy_from_slice(bytes);
+    arr
+}
+
+/// Infallible 4-byte array view of a slice already known to be that long.
+fn le4(bytes: &[u8]) -> [u8; 4] {
+    let mut arr = [0u8; 4];
+    arr.copy_from_slice(bytes);
+    arr
+}
+
+/// Infallible 8-byte array view of a slice already known to be that long.
+fn le8(bytes: &[u8]) -> [u8; 8] {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(bytes);
+    arr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn build(records: &[&[u8]]) -> Vec<u8> {
+        let mut w = ContainerWriter::new(Cursor::new(Vec::new()), RecordKind::Trajectories)
+            .expect("header");
+        for r in records {
+            w.write_record(r).expect("record");
+        }
+        w.finish().expect("finish").into_inner()
+    }
+
+    #[test]
+    fn empty_container_round_trips() {
+        let bytes = build(&[]);
+        let mut r =
+            ContainerReader::new(Cursor::new(&bytes), RecordKind::Trajectories).expect("open");
+        assert_eq!(r.count(), 0);
+        assert!(r.next_record().expect("end").is_none());
+        // Repeated calls after the end stay `None`.
+        assert!(r.next_record().expect("end").is_none());
+    }
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let bytes = build(&[b"alpha", b"", b"gamma-gamma"]);
+        let mut r =
+            ContainerReader::new(Cursor::new(&bytes), RecordKind::Trajectories).expect("open");
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.next_record().expect("r0"), Some(b"alpha".as_slice()));
+        assert_eq!(r.next_record().expect("r1"), Some(b"".as_slice()));
+        assert_eq!(
+            r.next_record().expect("r2"),
+            Some(b"gamma-gamma".as_slice())
+        );
+        assert!(r.next_record().expect("end").is_none());
+    }
+
+    #[test]
+    fn count_is_patched_into_header() {
+        let bytes = build(&[b"x", b"y"]);
+        assert_eq!(&bytes[12..20], &2u64.to_le_bytes());
+    }
+}

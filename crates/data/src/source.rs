@@ -1,0 +1,278 @@
+//! The streaming ingestion API: [`TrajectorySource`].
+//!
+//! A source exposes its data as a fixed list of *shards* that can each be
+//! re-read any number of times (re-invoking a shard seeks/rewinds), so
+//! consumers can make multiple bounded-memory passes — e.g. one to fit
+//! normalization statistics and one to train — without the source
+//! materializing everything.
+
+use crate::error::DataError;
+use crate::records::TrajectoryReader;
+use lead_geo::csv::CsvReader;
+use lead_geo::Trajectory;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// A shardable, rewindable stream of `(truck_id, Trajectory)` records.
+///
+/// Contract: `read_shard(i)` delivers shard `i`'s records, in a fixed
+/// per-shard order, every time it is invoked; shards partition the dataset
+/// and concatenating shards `0..num_shards()` in order yields the whole
+/// dataset in its canonical order. `len_hint()` is the total record count
+/// when the source knows it cheaply.
+pub trait TrajectorySource {
+    /// Total record count across all shards, when cheaply known.
+    fn len_hint(&self) -> Option<u64>;
+
+    /// Number of shards (at least 1, even for empty sources).
+    fn num_shards(&self) -> usize;
+
+    /// Streams shard `shard`'s records into `sink`, in canonical order.
+    ///
+    /// # Errors
+    ///
+    /// [`DataError::NoSuchShard`] for an out-of-range index; I/O, format,
+    /// or CSV errors from the backing store.
+    fn read_shard(
+        &mut self,
+        shard: usize,
+        sink: &mut dyn FnMut(u32, Trajectory),
+    ) -> Result<(), DataError>;
+}
+
+/// Returns the `NoSuchShard` error for an out-of-range shard index.
+fn no_such_shard(shard: usize, shards: usize) -> DataError {
+    DataError::NoSuchShard { shard, shards }
+}
+
+/// How many shards a `len`-item in-RAM source with the given shard size has.
+fn vec_shards(len: usize, shard_size: usize) -> usize {
+    len.div_ceil(shard_size).max(1)
+}
+
+/// The in-RAM path: a `Vec` exposed through the source API, optionally
+/// split into fixed-size shards (useful for exercising shard-boundary
+/// behavior in tests).
+#[derive(Debug)]
+pub struct VecTrajectories {
+    items: Vec<(u32, Trajectory)>,
+    shard_size: usize,
+}
+
+impl VecTrajectories {
+    /// Wraps `items` as a single-shard source.
+    pub fn new(items: Vec<(u32, Trajectory)>) -> Self {
+        let shard_size = items.len().max(1);
+        Self { items, shard_size }
+    }
+
+    /// Wraps `items` split into shards of at most `shard_size` records
+    /// (clamped to at least 1).
+    pub fn with_shard_size(items: Vec<(u32, Trajectory)>, shard_size: usize) -> Self {
+        Self {
+            items,
+            shard_size: shard_size.max(1),
+        }
+    }
+}
+
+impl TrajectorySource for VecTrajectories {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.items.len() as u64)
+    }
+
+    fn num_shards(&self) -> usize {
+        vec_shards(self.items.len(), self.shard_size)
+    }
+
+    fn read_shard(
+        &mut self,
+        shard: usize,
+        sink: &mut dyn FnMut(u32, Trajectory),
+    ) -> Result<(), DataError> {
+        let shards = self.num_shards();
+        if shard >= shards {
+            return Err(no_such_shard(shard, shards));
+        }
+        let start = shard * self.shard_size;
+        let end = (start + self.shard_size).min(self.items.len());
+        for (id, tr) in self.items.iter().skip(start).take(end - start) {
+            sink(*id, tr.clone());
+        }
+        Ok(())
+    }
+}
+
+/// A CSV file as a single-shard source; each pass re-opens and re-parses
+/// the file, so repeated reads need no in-RAM copy.
+#[derive(Debug)]
+pub struct CsvTrajectoryFile {
+    path: PathBuf,
+}
+
+impl CsvTrajectoryFile {
+    /// Wraps the CSV file at `path` (opened lazily on each read).
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+}
+
+impl TrajectorySource for CsvTrajectoryFile {
+    fn len_hint(&self) -> Option<u64> {
+        // Counting would require a full parse; CSV stays unhinted.
+        None
+    }
+
+    fn num_shards(&self) -> usize {
+        1
+    }
+
+    fn read_shard(
+        &mut self,
+        shard: usize,
+        sink: &mut dyn FnMut(u32, Trajectory),
+    ) -> Result<(), DataError> {
+        if shard >= 1 {
+            return Err(no_such_shard(shard, 1));
+        }
+        let file = File::open(&self.path)?;
+        for item in CsvReader::new(BufReader::new(file))? {
+            let (id, tr) = item?;
+            sink(id, tr);
+        }
+        Ok(())
+    }
+}
+
+/// A set of binary trajectory container files, one shard per file.
+///
+/// Construction opens every file once to validate its header and sum the
+/// declared record counts, so `len_hint` is exact.
+#[derive(Debug)]
+pub struct BinaryTrajectoryShards {
+    paths: Vec<PathBuf>,
+    total: u64,
+}
+
+impl BinaryTrajectoryShards {
+    /// Opens a shard set, validating each file's header.
+    ///
+    /// # Errors
+    ///
+    /// Any header-validation or I/O error from the shard files.
+    pub fn open<P: AsRef<Path>>(paths: &[P]) -> Result<Self, DataError> {
+        let mut total = 0u64;
+        let mut owned = Vec::with_capacity(paths.len());
+        for p in paths {
+            let file = File::open(p.as_ref())?;
+            let reader = TrajectoryReader::new(BufReader::new(file))?;
+            total += reader.count();
+            owned.push(p.as_ref().to_path_buf());
+        }
+        Ok(Self {
+            paths: owned,
+            total,
+        })
+    }
+}
+
+impl TrajectorySource for BinaryTrajectoryShards {
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+
+    fn num_shards(&self) -> usize {
+        self.paths.len().max(1)
+    }
+
+    fn read_shard(
+        &mut self,
+        shard: usize,
+        sink: &mut dyn FnMut(u32, Trajectory),
+    ) -> Result<(), DataError> {
+        let shards = self.num_shards();
+        let Some(path) = self.paths.get(shard) else {
+            return Err(no_such_shard(shard, shards));
+        };
+        let file = File::open(path)?;
+        let mut reader = TrajectoryReader::new(BufReader::new(file))?;
+        while let Some((id, tr)) = reader.next_record()? {
+            sink(id, tr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lead_geo::GpsPoint;
+
+    fn items(n: usize) -> Vec<(u32, Trajectory)> {
+        (0..n)
+            .map(|i| {
+                let base = i as i64 * 1000;
+                (
+                    i as u32,
+                    Trajectory::new(vec![
+                        GpsPoint::new(31.0, 121.0, base),
+                        GpsPoint::new(31.1, 121.1, base + 60),
+                    ]),
+                )
+            })
+            .collect()
+    }
+
+    fn drain(src: &mut dyn TrajectorySource) -> Vec<(u32, Trajectory)> {
+        let mut out = Vec::new();
+        for s in 0..src.num_shards() {
+            src.read_shard(s, &mut |id, tr| out.push((id, tr))).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn vec_source_shards_partition_in_order() {
+        let data = items(7);
+        for shard_size in 1..=8 {
+            let mut src = VecTrajectories::with_shard_size(data.clone(), shard_size);
+            assert_eq!(src.len_hint(), Some(7));
+            assert_eq!(drain(&mut src), data, "shard_size {shard_size}");
+        }
+    }
+
+    #[test]
+    fn vec_source_rereads_shards_identically() {
+        let mut src = VecTrajectories::with_shard_size(items(5), 2);
+        let mut first = Vec::new();
+        src.read_shard(1, &mut |id, tr| first.push((id, tr)))
+            .unwrap();
+        let mut second = Vec::new();
+        src.read_shard(1, &mut |id, tr| second.push((id, tr)))
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_shard_is_typed() {
+        let mut src = VecTrajectories::new(items(3));
+        match src.read_shard(9, &mut |_, _| {}) {
+            Err(DataError::NoSuchShard {
+                shard: 9,
+                shards: 1,
+            }) => {}
+            other => panic!("expected NoSuchShard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_vec_source_has_one_empty_shard() {
+        let mut src = VecTrajectories::new(Vec::new());
+        assert_eq!(src.num_shards(), 1);
+        assert!(drain(&mut src).is_empty());
+    }
+}

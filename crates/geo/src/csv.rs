@@ -57,34 +57,46 @@ pub fn write_trajectories<W: Write>(
     Ok(())
 }
 
-/// Reads trajectories written by [`write_trajectories`] (or any conforming
-/// producer): consecutive rows with the same `truck_id` form one trajectory;
-/// a change of id starts the next.
+/// Streaming CSV reader: an iterator yielding one `(truck_id, Trajectory)`
+/// at a time, so arbitrarily large feeds can be consumed without
+/// materializing the whole dataset.
 ///
-/// Within one trajectory timestamps must be strictly increasing; rows are
-/// otherwise free-form CSV without quoting (coordinates and ids contain no
-/// commas).
-pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>, CsvError> {
-    let mut lines = r.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| CsvError::Parse(1, "empty input".into()))?;
-    let header = header?;
-    if header.trim() != HEADER {
-        return Err(CsvError::Parse(1, format!("expected header `{HEADER}`")));
+/// Consecutive rows with the same `truck_id` form one trajectory; a change
+/// of id yields the previous one. Within one trajectory timestamps must be
+/// strictly increasing; rows are otherwise free-form CSV without quoting
+/// (coordinates and ids contain no commas). After yielding an error the
+/// iterator is fused: further calls return `None`.
+pub struct CsvReader<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    pending: Option<(u32, Vec<GpsPoint>)>,
+    done: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Opens a reader, consuming and validating the header line.
+    ///
+    /// # Errors
+    ///
+    /// [`CsvError::Parse`] on empty input or a wrong header line,
+    /// [`CsvError::Io`] when the header cannot be read.
+    pub fn new(r: R) -> Result<Self, CsvError> {
+        let mut lines = r.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| CsvError::Parse(1, "empty input".into()))?;
+        let header = header?;
+        if header.trim() != HEADER {
+            return Err(CsvError::Parse(1, format!("expected header `{HEADER}`")));
+        }
+        Ok(Self {
+            lines,
+            pending: None,
+            done: false,
+        })
     }
 
-    let mut out: Vec<(u32, Trajectory)> = Vec::new();
-    let mut current_id: Option<u32> = None;
-    let mut points: Vec<GpsPoint> = Vec::new();
-
-    for (idx, line) in lines {
-        let lineno = idx + 1;
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
+    /// Parses one body row into its truck id and point.
+    fn parse_row(line: &str, lineno: usize) -> Result<(u32, GpsPoint), CsvError> {
         let mut parts = line.split(',');
         let id: u32 = parse_field(&mut parts, lineno, "truck_id")?;
         let t: i64 = parse_field(&mut parts, lineno, "timestamp_s")?;
@@ -96,34 +108,17 @@ pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>
                 format!("coordinates out of range: {lat},{lng}"),
             ));
         }
-        if current_id != Some(id) {
-            flush(&mut out, current_id, &mut points, Some(lineno))?;
-            current_id = Some(id);
-        }
-        if let Some(last) = points.last() {
-            if last.t >= t {
-                return Err(CsvError::Parse(
-                    lineno,
-                    format!("non-increasing timestamp {t} after {}", last.t),
-                ));
-            }
-        }
-        points.push(GpsPoint::new(lat, lng, t));
+        Ok((id, GpsPoint::new(lat, lng, t)))
     }
-    // The final flush happens after the last line was consumed; there is no
-    // "current line" to blame, so the error (if any) names end-of-input
-    // instead of a fabricated line number.
-    flush(&mut out, current_id, &mut points, None)?;
-    Ok(out)
-}
 
-fn flush(
-    out: &mut Vec<(u32, Trajectory)>,
-    id: Option<u32>,
-    points: &mut Vec<GpsPoint>,
-    lineno: Option<usize>,
-) -> Result<(), CsvError> {
-    if let Some(id) = id {
+    /// Emits a completed trajectory, or the structural error for an empty
+    /// one. `lineno` is the row that triggered the flush; `None` at
+    /// end-of-input, where no line exists to blame.
+    fn flush(
+        id: u32,
+        points: Vec<GpsPoint>,
+        lineno: Option<usize>,
+    ) -> Result<(u32, Trajectory), CsvError> {
         if points.is_empty() {
             let msg = format!("truck {id} has no points");
             return Err(match lineno {
@@ -131,9 +126,77 @@ fn flush(
                 None => CsvError::EndOfInput(msg),
             });
         }
-        out.push((id, Trajectory::new(std::mem::take(points))));
+        Ok((id, Trajectory::new(points)))
     }
-    Ok(())
+}
+
+impl<R: BufRead> Iterator for CsvReader<R> {
+    type Item = Result<(u32, Trajectory), CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let Some((idx, line)) = self.lines.next() else {
+                // The final flush happens after the last line was consumed;
+                // there is no "current line" to blame, so the error (if
+                // any) names end-of-input instead of a fabricated number.
+                self.done = true;
+                let (id, points) = self.pending.take()?;
+                return Some(Self::flush(id, points, None));
+            };
+            let lineno = idx + 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let (id, point) = match Self::parse_row(trimmed, lineno) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            match &mut self.pending {
+                Some((cur, points)) if *cur == id => {
+                    if let Some(last) = points.last() {
+                        if last.t >= point.t {
+                            self.done = true;
+                            return Some(Err(CsvError::Parse(
+                                lineno,
+                                format!("non-increasing timestamp {} after {}", point.t, last.t),
+                            )));
+                        }
+                    }
+                    points.push(point);
+                }
+                Some(_) => {
+                    if let Some((prev_id, prev_points)) = self.pending.replace((id, vec![point])) {
+                        let flushed = Self::flush(prev_id, prev_points, Some(lineno));
+                        if flushed.is_err() {
+                            self.done = true;
+                        }
+                        return Some(flushed);
+                    }
+                }
+                None => self.pending = Some((id, vec![point])),
+            }
+        }
+    }
+}
+
+/// Reads trajectories written by [`write_trajectories`] (or any conforming
+/// producer), collecting the streaming [`CsvReader`] into a `Vec`.
+pub fn read_trajectories<R: BufRead>(r: &mut R) -> Result<Vec<(u32, Trajectory)>, CsvError> {
+    CsvReader::new(r)?.collect()
 }
 
 fn parse_field<'a, T: std::str::FromStr>(
@@ -222,5 +285,49 @@ mod tests {
     fn empty_body_is_ok() {
         let csv = format!("{HEADER}\n");
         assert!(read_trajectories(&mut csv.as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iterator_yields_trajectories_incrementally() {
+        let csv = format!("{HEADER}\n1,0,32.0,120.9\n1,60,32.0,120.9\n2,0,31.0,120.0\n");
+        let mut it = CsvReader::new(csv.as_bytes()).unwrap();
+        let (id, t) = it.next().unwrap().unwrap();
+        assert_eq!((id, t.len()), (1, 2));
+        let (id, t) = it.next().unwrap().unwrap();
+        assert_eq!((id, t.len()), (2, 1));
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn iterator_is_fused_after_an_error() {
+        let csv = format!("{HEADER}\n1,100,32.0,120.9\n1,50,32.0,120.9\n1,200,32.0,120.9\n");
+        let mut it = CsvReader::new(csv.as_bytes()).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn iterator_reports_body_line_numbers() {
+        // The bad row is physical line 3 (header is line 1).
+        let csv = format!("{HEADER}\n1,0,32.0,120.9\n1,60,oops,120.9\n");
+        let mut it = CsvReader::new(csv.as_bytes()).unwrap();
+        match it.next().unwrap() {
+            Err(CsvError::Parse(3, msg)) => assert!(msg.contains("bad lat"), "{msg}"),
+            other => panic!("expected Parse(3, ..), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterator_matches_collecting_wrapper() {
+        let csv = format!(
+            "{HEADER}\n5,0,32.0,120.9\n5,60,32.1,120.8\n6,10,31.0,120.0\n6,70,31.1,120.1\n"
+        );
+        let streamed: Vec<_> = CsvReader::new(csv.as_bytes())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let collected = read_trajectories(&mut csv.as_bytes()).unwrap();
+        assert_eq!(streamed, collected);
     }
 }

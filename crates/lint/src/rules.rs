@@ -98,7 +98,7 @@ pub struct CrateInfo {
 /// per-file scope helpers, the layering rules (R7), and the scope-drift
 /// audit (R9). Mirrored in DESIGN.md §10; adding a crate without extending
 /// this table is itself a diagnostic.
-pub const CRATES: [CrateInfo; 10] = [
+pub const CRATES: [CrateInfo; 11] = [
     CrateInfo {
         dir: "",
         package: "lead",
@@ -125,7 +125,14 @@ pub const CRATES: [CrateInfo; 10] = [
         package: "lead-core",
         class: Class::ResultLib,
         doc: true,
-        allowed: &["lead-geo", "lead-nn", "lead-obs"],
+        allowed: &["lead-geo", "lead-data", "lead-nn", "lead-obs"],
+    },
+    CrateInfo {
+        dir: "crates/data",
+        package: "lead-data",
+        class: Class::Lib,
+        doc: true,
+        allowed: &["lead-geo"],
     },
     CrateInfo {
         dir: "crates/eval",
@@ -174,7 +181,7 @@ pub const CRATES: [CrateInfo; 10] = [
         package: "lead-synth",
         class: Class::Lib,
         doc: false,
-        allowed: &["lead-geo", "lead-core"],
+        allowed: &["lead-geo", "lead-data", "lead-core"],
     },
 ];
 
@@ -529,11 +536,10 @@ fn check_float_cast(code: &str, fire: &mut impl FnMut(&'static str, usize, Strin
             fire(
                 "float-cast",
                 pos + 1,
-                format!(
-                    "`… as f32` in a numeric kernel narrows silently — funnel \
-                     through `lead_nn::num` (finite/exactness-guarded) or cast \
-                     from `len()`/an integer literal"
-                ),
+                "`… as f32` in a numeric kernel narrows silently — funnel \
+                 through `lead_nn::num` (finite/exactness-guarded) or cast \
+                 from `len()`/an integer literal"
+                    .to_string(),
             );
         }
     }

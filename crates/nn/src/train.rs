@@ -171,6 +171,58 @@ impl<'p> AccumTrainer<'p> {
     }
 }
 
+/// The per-epoch visit order of a training set: a persistent permutation
+/// that is reshuffled in place at the top of every epoch.
+///
+/// Persistence is part of the determinism contract. The training loops
+/// shuffle the *previous* epoch's order rather than a fresh identity
+/// permutation; rebuilding from identity each epoch would consume the same
+/// RNG draws but visit samples in a different sequence, changing gradient
+/// order and breaking bit-for-bit reproducibility with the historical
+/// loops. `EpochPlan` encapsulates that invariant so every loop (and any
+/// future streaming consumer) shares one implementation.
+#[derive(Debug, Clone)]
+pub struct EpochPlan {
+    order: Vec<usize>,
+}
+
+impl EpochPlan {
+    /// A plan over `len` samples, starting as the identity permutation.
+    pub fn new(len: usize) -> Self {
+        Self {
+            order: (0..len).collect(),
+        }
+    }
+
+    /// Reshuffles the current order in place (Fisher–Yates, one draw per
+    /// element past the first — identical RNG consumption for any content).
+    pub fn reshuffle<R: rand::RngCore + ?Sized>(&mut self, rng: &mut R) {
+        use rand::seq::SliceRandom;
+        self.order.shuffle(rng);
+    }
+
+    /// The current visit order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The current order split into accumulation windows of at most
+    /// `batch` samples (the last may be shorter).
+    pub fn windows(&self, batch: usize) -> std::slice::Chunks<'_, usize> {
+        self.order.chunks(batch)
+    }
+
+    /// Number of samples the plan covers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the plan covers no samples.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
 /// Early stopping on a validation (or training) loss (Caruana et al. 2000),
 /// the paper's overfitting guard.
 #[derive(Debug, Clone)]
@@ -396,5 +448,32 @@ mod tests {
         assert!(!es.observe(1.0));
         assert!(!es.observe(0.99)); // gain < min_delta → bad epoch 1
         assert!(es.observe(0.98)); // bad epoch 2 → stop
+    }
+
+    #[test]
+    fn epoch_plan_matches_the_historical_inline_shuffle() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        // The pre-EpochPlan loops kept one order vec alive across epochs and
+        // shuffled it in place; the plan must reproduce that sequence of
+        // permutations exactly, draw for draw.
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut order: Vec<usize> = (0..23).collect();
+        let mut plan = EpochPlan::new(23);
+        assert_eq!(plan.order(), order.as_slice());
+        for _ in 0..5 {
+            order.shuffle(&mut rng_a);
+            plan.reshuffle(&mut rng_b);
+            assert_eq!(plan.order(), order.as_slice());
+            let chunked: Vec<&[usize]> = order.chunks(4).collect();
+            let windows: Vec<&[usize]> = plan.windows(4).collect();
+            assert_eq!(windows, chunked);
+        }
+        assert_eq!(plan.len(), 23);
+        assert!(!plan.is_empty());
+        assert!(EpochPlan::new(0).is_empty());
     }
 }

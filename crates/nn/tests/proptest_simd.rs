@@ -326,9 +326,16 @@ fn kernel_sweep_bits(kernel_name: &str) -> Vec<u32> {
         }
     }
     if kernel_name == "matmul_acc" {
-        for (case, &(m, kk, n)) in [(0, 0, 0), (1, 1, 1), (2, 3, 4), (5, 8, 7), (8, 8, 8), (3, 17, 9)]
-            .iter()
-            .enumerate()
+        for (case, &(m, kk, n)) in [
+            (0, 0, 0),
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 8, 7),
+            (8, 8, 8),
+            (3, 17, 9),
+        ]
+        .iter()
+        .enumerate()
         {
             let a = test_vector(0x3333_0003 + case as u64, m * kk);
             let b = test_vector(0x4444_0004 + case as u64, kk * n);
@@ -368,7 +375,11 @@ fn scalar_kernel_fingerprints_are_pinned() {
             failures.push(format!("{name}: got {got:#018x}, pinned {want:#018x}"));
         }
     }
-    assert!(failures.is_empty(), "fingerprint drift:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "fingerprint drift:\n{}",
+        failures.join("\n")
+    );
 }
 
 // ---- planted divergence ----------------------------------------------------
@@ -451,7 +462,11 @@ fn planted_fma_kernel_is_caught_by_the_battery() {
     let mut want = b.clone();
     FmaKernel.axpy(0.3, &a, &mut got);
     Backend::Scalar.axpy(0.3, &a, &mut want);
-    assert_ne!(bits_of(&got), bits_of(&want), "planted FMA axpy not detected");
+    assert_ne!(
+        bits_of(&got),
+        bits_of(&want),
+        "planted FMA axpy not detected"
+    );
 }
 
 #[test]

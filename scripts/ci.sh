@@ -67,12 +67,38 @@ if [ "$(grep -c 'unsafe-contract' "$R10_TMP/out.txt")" -lt 2 ]; then
     exit 1
 fi
 
+# Binary-format gate: a CSV -> binary -> CSV round trip must be byte-exact
+# (the sample uses grid-aligned coordinates, so fixed-point encoding is
+# provably lossless), and a planted flipped byte inside the first record
+# payload must make `verify` fail — otherwise the checksum layer is
+# decorative.
+echo "==> data-convert round-trip + planted-corruption self-test"
+DC_TMP="target/tmp/data-convert-selftest"
+rm -rf "$DC_TMP"
+mkdir -p "$DC_TMP"
+DC="target/release/data-convert"
+"$DC" sample-csv "$DC_TMP/sample.csv"
+"$DC" csv2bin "$DC_TMP/sample.csv" "$DC_TMP/sample.leadbin"
+"$DC" verify "$DC_TMP/sample.leadbin"
+"$DC" bin2csv "$DC_TMP/back.csv" "$DC_TMP/sample.leadbin"
+if ! cmp -s "$DC_TMP/sample.csv" "$DC_TMP/back.csv"; then
+    echo "data-convert self-test failed: csv -> bin -> csv round trip is not byte-exact"
+    exit 1
+fi
+# Offset 40: past the 20-byte header and 12-byte frame preamble, inside the
+# first record's payload.
+"$DC" corrupt "$DC_TMP/sample.leadbin" 40
+if "$DC" verify "$DC_TMP/sample.leadbin"; then
+    echo "data-convert self-test failed: planted corruption was NOT detected"
+    exit 1
+fi
+
 echo "==> bench-ratchet self-test (the gate must catch a planted regression)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- --self-test
 
-echo "==> bench-ratchet gate (results/BENCH_8.json vs bench.baseline)"
+echo "==> bench-ratchet gate (results/BENCH_9.json vs bench.baseline)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- \
-    --write results/BENCH_8.json --baseline bench.baseline
+    --write results/BENCH_9.json --baseline bench.baseline
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

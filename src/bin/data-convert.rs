@@ -1,0 +1,256 @@
+//! `data-convert` — CSV ↔ binary trajectory container conversion and
+//! verification.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! data-convert sample-csv OUT.csv
+//!     Write a small deterministic sample CSV (grid-aligned coordinates, so
+//!     a csv2bin → bin2csv round trip is byte-exact).
+//! data-convert csv2bin IN.csv OUT.leadbin [--shard-size N]
+//!     Convert a trajectory CSV to the binary container format; with
+//!     --shard-size, write OUT-00000.leadbin, OUT-00001.leadbin, … instead.
+//! data-convert bin2csv OUT.csv IN.leadbin [IN2.leadbin ...]
+//!     Convert binary container file(s) back to one CSV.
+//! data-convert verify FILE [FILE ...]
+//!     Fully read each container, checksums and all; non-zero exit on any
+//!     corruption.
+//! data-convert corrupt FILE OFFSET
+//!     Flip (XOR 0xFF) the byte at OFFSET — a corruption-injection helper
+//!     for self-tests.
+//! ```
+
+use lead::data::records::{TrajectoryReader, TrajectoryWriter};
+use lead::geo::csv::{write_trajectories, CsvReader};
+use lead::geo::Trajectory;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> String {
+    "\
+data-convert — CSV <-> binary trajectory container conversion
+
+USAGE:
+  data-convert sample-csv OUT.csv
+  data-convert csv2bin IN.csv OUT.leadbin [--shard-size N]
+  data-convert bin2csv OUT.csv IN.leadbin [IN2.leadbin ...]
+  data-convert verify FILE [FILE ...]
+  data-convert corrupt FILE OFFSET
+"
+    .to_string()
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("sample-csv") => sample_csv(&argv[1..]),
+        Some("csv2bin") => csv2bin(&argv[1..]),
+        Some("bin2csv") => bin2csv(&argv[1..]),
+        Some("verify") => verify(&argv[1..]),
+        Some("corrupt") => corrupt(&argv[1..]),
+        Some("help" | "--help" | "-h") => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n\n{}", usage())),
+        None => Err(format!("missing subcommand\n\n{}", usage())),
+    }
+}
+
+/// Grid-aligned coordinate: exactly representable on the 1e-7° fixed-point
+/// grid, so CSV `%.7` text, the parsed `f64`, and the binary fixed-point
+/// encoding all round-trip byte-exactly.
+fn grid(units_1e7: i64) -> f64 {
+    units_1e7 as f64 / 1e7
+}
+
+fn sample_csv(args: &[String]) -> Result<(), String> {
+    let [out] = args else {
+        return Err("usage: data-convert sample-csv OUT.csv".to_string());
+    };
+    let mut trajectories: Vec<(u32, Trajectory)> = Vec::new();
+    for truck in 0..5u32 {
+        let base_lat = 319_000_000 + i64::from(truck) * 400_000;
+        let base_lng = 1_209_000_000 + i64::from(truck) * 700_000;
+        let points = (0..200)
+            .map(|i| {
+                lead::geo::GpsPoint::new(
+                    grid(base_lat + i * 1_500),
+                    grid(base_lng + i * 2_100),
+                    i64::from(truck) * 100_000 + i * 30,
+                )
+            })
+            .collect();
+        trajectories.push((truck, Trajectory::new(points)));
+    }
+    let refs: Vec<(u32, &Trajectory)> = trajectories.iter().map(|(id, t)| (*id, t)).collect();
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_trajectories(&refs, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+    w.flush().map_err(|e| format!("flush {out}: {e}"))?;
+    println!("wrote {} trajectories to {out}", refs.len());
+    Ok(())
+}
+
+fn read_csv(path: &str) -> Result<Vec<(u32, Trajectory)>, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = CsvReader::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for item in reader {
+        out.push(item.map_err(|e| format!("{path}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn write_bin(path: &Path, items: &[(u32, Trajectory)]) -> Result<(), String> {
+    let display = path.display();
+    let file = File::create(path).map_err(|e| format!("create {display}: {e}"))?;
+    let mut w =
+        TrajectoryWriter::new(BufWriter::new(file)).map_err(|e| format!("{display}: {e}"))?;
+    for (id, tr) in items {
+        w.write(*id, tr).map_err(|e| format!("{display}: {e}"))?;
+    }
+    w.finish().map_err(|e| format!("{display}: {e}"))?;
+    Ok(())
+}
+
+fn csv2bin(args: &[String]) -> Result<(), String> {
+    let (input, output, shard_size) = match args {
+        [input, output] => (input, output, None),
+        [input, output, flag, n] if flag == "--shard-size" => {
+            let n: usize = n
+                .parse()
+                .map_err(|e| format!("bad --shard-size `{n}`: {e}"))?;
+            (input, output, Some(n.max(1)))
+        }
+        _ => {
+            return Err(
+                "usage: data-convert csv2bin IN.csv OUT.leadbin [--shard-size N]".to_string(),
+            )
+        }
+    };
+    let items = read_csv(input)?;
+    match shard_size {
+        None => {
+            write_bin(Path::new(output), &items)?;
+            println!("wrote {} trajectories to {output}", items.len());
+        }
+        Some(size) => {
+            let mut shards = 0usize;
+            for (i, chunk) in items.chunks(size).enumerate() {
+                let path = PathBuf::from(format!("{output}-{i:05}.leadbin"));
+                write_bin(&path, chunk)?;
+                shards += 1;
+            }
+            if shards == 0 {
+                write_bin(&PathBuf::from(format!("{output}-00000.leadbin")), &[])?;
+                shards = 1;
+            }
+            println!(
+                "wrote {} trajectories to {shards} shard(s) at {output}-*.leadbin",
+                items.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn bin2csv(args: &[String]) -> Result<(), String> {
+    let [out, inputs @ ..] = args else {
+        return Err("usage: data-convert bin2csv OUT.csv IN.leadbin [IN2.leadbin ...]".to_string());
+    };
+    if inputs.is_empty() {
+        return Err("usage: data-convert bin2csv OUT.csv IN.leadbin [IN2.leadbin ...]".to_string());
+    }
+    let mut items: Vec<(u32, Trajectory)> = Vec::new();
+    for input in inputs {
+        let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        let mut r =
+            TrajectoryReader::new(BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+        loop {
+            match r.next_record() {
+                Ok(Some(item)) => items.push(item),
+                Ok(None) => break,
+                Err(e) => return Err(format!("{input}: {e}")),
+            }
+        }
+    }
+    let refs: Vec<(u32, &Trajectory)> = items.iter().map(|(id, t)| (*id, t)).collect();
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_trajectories(&refs, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+    w.flush().map_err(|e| format!("flush {out}: {e}"))?;
+    println!("wrote {} trajectories to {out}", refs.len());
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("usage: data-convert verify FILE [FILE ...]".to_string());
+    }
+    for input in args {
+        let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        let mut r =
+            TrajectoryReader::new(BufReader::new(file)).map_err(|e| format!("{input}: {e}"))?;
+        let declared = r.count();
+        let mut records = 0u64;
+        let mut points = 0u64;
+        loop {
+            match r.next_record() {
+                Ok(Some((_, tr))) => {
+                    records += 1;
+                    points += tr.points().len() as u64;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(format!("{input}: {e}")),
+            }
+        }
+        println!("{input}: OK ({records}/{declared} records, {points} points)");
+    }
+    Ok(())
+}
+
+fn corrupt(args: &[String]) -> Result<(), String> {
+    let [path, offset] = args else {
+        return Err("usage: data-convert corrupt FILE OFFSET".to_string());
+    };
+    let offset: u64 = offset
+        .parse()
+        .map_err(|e| format!("bad offset `{offset}`: {e}"))?;
+    let mut file = File::options()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("open {path}: {e}"))?;
+    let len = file
+        .metadata()
+        .map_err(|e| format!("stat {path}: {e}"))?
+        .len();
+    if offset >= len {
+        return Err(format!("offset {offset} past end of {path} ({len} bytes)"));
+    }
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| format!("seek {path}: {e}"))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| format!("seek {path}: {e}"))?;
+    file.write_all(&byte)
+        .map_err(|e| format!("write {path}: {e}"))?;
+    println!("flipped byte at offset {offset} of {path}");
+    Ok(())
+}

@@ -20,6 +20,7 @@
 
 pub use lead_baselines as baselines;
 pub use lead_core as core;
+pub use lead_data as data;
 pub use lead_eval as eval;
 pub use lead_geo as geo;
 pub use lead_nn as nn;
