@@ -17,7 +17,7 @@ pub fn smoothed_label(flat_order: &[Candidate], truth: Candidate, epsilon: f32) 
     let pos = flat_order
         .iter()
         .position(|&c| c == truth)
-        // lint: allow(panic): training-contract violation (documented # Panics) — labels are built from the same flattening
+        // lint: allow(panic, panic-path): training-contract violation (documented # Panics) — labels are built from the same flattening
         .expect("ground-truth candidate must be in the flattening");
     let k = lead_nn::num::exact_usize_f32(m - 1);
     let mut data = vec![epsilon; m];

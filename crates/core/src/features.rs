@@ -177,7 +177,7 @@ impl<'a> FeatureExtractor<'a> {
         let mut f = self.raw_features(p);
         self.normalizer
             .as_ref()
-            // lint: allow(panic): documented # Panics precondition — the pipeline installs the normaliser before any feature call
+            // lint: allow(panic, panic-path): documented # Panics precondition — the pipeline installs the normaliser before any feature call
             .expect("normaliser not fitted")
             .normalize(&mut f);
         f

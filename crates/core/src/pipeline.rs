@@ -694,7 +694,7 @@ impl Lead {
         let lead = Lead {
             config: config.clone(),
             options,
-            // lint: allow(panic): construction invariant — fit() installs the normaliser before building Lead
+            // lint: allow(panic, panic-path): construction invariant — fit() installs the normaliser before building Lead
             normalizer: fx.normalizer().expect("normaliser fitted above").clone(),
             autoencoder,
             forward_det,
@@ -821,7 +821,7 @@ impl Lead {
         let score_span = clock::span(probe, "detect.score");
         let probabilities = match self.options.detector {
             DetectorChoice::Mlp => {
-                // lint: allow(panic): construction invariant — fit() trains the detector selected by `options.detector`
+                // lint: allow(panic, panic-path): construction invariant — fit() trains the detector selected by `options.detector`
                 let det = self.mlp.as_ref().expect("MLP detector trained");
                 det.probabilities(&cvecs)
             }
@@ -837,14 +837,14 @@ impl Lead {
                 match choice {
                     DetectorChoice::Both => {
                         let f = run(
-                            // lint: allow(panic): construction invariant — fit() trains both detectors for Both
+                            // lint: allow(panic, panic-path): construction invariant — fit() trains both detectors for Both
                             self.forward_det.as_ref().expect("forward detector trained"),
                             &groups.forward,
                         );
                         let b = run(
                             self.backward_det
                                 .as_ref()
-                                // lint: allow(panic): construction invariant — fit() trains both detectors for Both
+                                // lint: allow(panic, panic-path): construction invariant — fit() trains both detectors for Both
                                 .expect("backward detector trained"),
                             &groups.backward,
                         );
@@ -852,7 +852,7 @@ impl Lead {
                         merge_probabilities(n, &f, &b)
                     }
                     DetectorChoice::ForwardOnly => run(
-                        // lint: allow(panic): construction invariant — fit() trains the forward detector for ForwardOnly
+                        // lint: allow(panic, panic-path): construction invariant — fit() trains the forward detector for ForwardOnly
                         self.forward_det.as_ref().expect("forward detector trained"),
                         &groups.forward,
                     ),
@@ -862,13 +862,13 @@ impl Lead {
                         let b = run(
                             self.backward_det
                                 .as_ref()
-                                // lint: allow(panic): construction invariant — fit() trains the backward detector for BackwardOnly
+                                // lint: allow(panic, panic-path): construction invariant — fit() trains the backward detector for BackwardOnly
                                 .expect("backward detector trained"),
                             &groups.backward,
                         );
                         reorder_backward_to_canonical(n, &b)
                     }
-                    // lint: allow(panic): Mlp is matched by the outer arm; this arm only completes the nested match
+                    // lint: allow(panic, panic-path): Mlp is matched by the outer arm; this arm only completes the nested match
                     DetectorChoice::Mlp => unreachable!("handled above"),
                 }
             }

@@ -35,11 +35,21 @@
 //! | `scope-drift` | R9: every crate is classified; scope tables stay current        |
 //! | `unsafe-contract` | R10: `unsafe` only in sanctioned modules, each site SAFETY-commented; library crates carry the crate-root lint attrs |
 //! | `hot-loop-alloc` | R11: no allocation/clone calls in loop bodies of kernel-tagged modules |
+//! | `panic-path`  | R12: no `pub fn` of a result-affecting crate transitively reaches a panic site |
+//! | `determinism-taint` | R13: no nondeterminism source reachable from result-affecting public APIs |
 //!
 //! R7–R9 are cross-file: they combine each file's token-level imports with a
 //! parsed subset of every workspace `Cargo.toml` ([`manifest`]), so an
 //! undeclared `use`, a dependency edge outside the sanctioned DAG, or a new
 //! crate missing from the classification tables fails the gate.
+//!
+//! R12–R13 are interprocedural: [`callgraph`] extracts every `fn` item and
+//! call site from the token stream + block IR, resolves calls lexically
+//! across the workspace (unresolved calls are opaque — assumed clean), and
+//! propagates panic sites and nondeterminism taint along the resulting
+//! graph, reporting a full witness path (`a → b → c: panics at file:line`)
+//! anchored at the offending public entry point. Run `lead-lint explain R12`
+//! for the rule docs.
 //!
 //! R10 confines `unsafe` to the allowlist in `rules::SANCTIONED_UNSAFE`
 //! (initially `lead_nn::simd`): every site there needs a non-empty
@@ -80,6 +90,7 @@
 
 pub mod baseline;
 pub mod blocks;
+pub mod callgraph;
 pub mod diag;
 pub mod lex;
 pub mod manifest;
@@ -98,7 +109,15 @@ use diag::Diagnostic;
 /// workspace path so rule scoping can be exercised.
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let view = scan::preprocess_file(source);
-    rules::apply(rel_path, &view)
+    let inputs = [callgraph::SourceFile {
+        rel: rel_path,
+        source,
+        view: &view,
+    }];
+    let analysis = callgraph::analyze(&inputs, &[]);
+    let mut diags = rules::apply_file_with(rel_path, &view, None, analysis.used_for(rel_path));
+    diags.extend(analysis.diags);
+    diags
 }
 
 /// Scans the whole workspace rooted at `root` and returns all diagnostics,
@@ -107,25 +126,42 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 /// failure.
 ///
 /// Unlike [`scan_source`], this runs the cross-file families too: each
-/// file's imports are checked against its crate's manifest (R7), and the
+/// file's imports are checked against its crate's manifest (R7), the
 /// manifest-level layering/classification checks run once over the whole
-/// workspace (R7/R9).
+/// workspace (R7/R9), and the interprocedural families (R12/R13) propagate
+/// over the workspace-wide call graph ([`callgraph`]).
 pub fn scan_workspace(root: &std::path::Path) -> Result<Vec<Diagnostic>, String> {
     let files = walk::workspace_sources(root)?;
     let manifests = manifest::workspace_manifests(root)?;
-    let mut diags = Vec::new();
+    // Load everything first: the call graph needs the whole workspace.
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let full = root.join(rel);
         let source = std::fs::read_to_string(&full)
             .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
         let view = scan::preprocess_file(&source);
-        let imports = workspace::imports(&source);
+        sources.push((rel.as_str(), source, view));
+    }
+    let inputs: Vec<callgraph::SourceFile<'_>> = sources
+        .iter()
+        .map(|(rel, source, view)| callgraph::SourceFile { rel, source, view })
+        .collect();
+    let analysis = callgraph::analyze(&inputs, &manifests);
+    let mut diags = Vec::new();
+    for (rel, source, view) in &sources {
+        let imports = workspace::imports(source);
         let checks = rules::FileChecks {
             imports: &imports,
             manifests: &manifests,
         };
-        diags.extend(rules::apply_file(rel, &view, Some(&checks)));
+        diags.extend(rules::apply_file_with(
+            rel,
+            view,
+            Some(&checks),
+            analysis.used_for(rel),
+        ));
     }
+    diags.extend(analysis.diags);
     diags.extend(workspace::workspace_checks(root, &manifests));
     diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(diags)

@@ -12,6 +12,54 @@ enum Format {
     Json,
 }
 
+/// `lead-lint explain [R<N>|<rule-id>]`: prints rule documentation from the
+/// catalog table ([`lead_lint::rules::RULE_DOCS`]) — the same source of
+/// truth DESIGN.md §10 mirrors. With no argument, lists every rule.
+fn explain(target: Option<&str>) -> ExitCode {
+    let docs = &lead_lint::rules::RULE_DOCS;
+    let Some(target) = target else {
+        for d in docs {
+            let first = d
+                .doc
+                .split(". ")
+                .next()
+                .unwrap_or(d.doc)
+                .trim_end_matches('.');
+            println!("{:<4} {:<18} {first}.", d.num, d.id);
+        }
+        println!(
+            "\nrun `lead-lint explain R<N>` (or a rule id) for the full doc and waiver syntax"
+        );
+        return ExitCode::SUCCESS;
+    };
+    let want = target.to_ascii_lowercase();
+    // `R4` matches both halves (R4a/R4b); ids and exact nums match one rule.
+    let hits: Vec<_> = docs
+        .iter()
+        .filter(|d| {
+            let num = d.num.to_ascii_lowercase();
+            num == want || d.id == want || num.trim_end_matches(['a', 'b']) == want
+        })
+        .collect();
+    if hits.is_empty() {
+        eprintln!(
+            "lead-lint: unknown rule `{target}` (known: {})",
+            lead_lint::rules::RULE_IDS.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    for (k, d) in hits.iter().enumerate() {
+        if k > 0 {
+            println!();
+        }
+        println!("{} `{}`\n", d.num, d.id);
+        println!("{}\n", d.doc);
+        println!("waiver (on the offending line, or a comment-only line directly above):");
+        println!("    {}", d.waiver);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
@@ -51,13 +99,21 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "explain" => {
+                let target = args.next();
+                return explain(target.as_deref());
+            }
             "--help" | "-h" => {
+                // The rule range derives from the catalog so it cannot drift.
+                let last = lead_lint::rules::RULE_DOCS[lead_lint::rules::RULE_DOCS.len() - 1].num;
                 println!(
-                    "usage: lead-lint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]\n\n\
+                    "usage: lead-lint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]\n\
+                     \x20      lead-lint explain [R<N>|<rule-id>]\n\n\
                      Scans the LEAD workspace sources and fails on violations of the\n\
                      determinism, panic-freedom, unsafe-contract, and architecture rule\n\
-                     catalog (R1-R11, see DESIGN.md). Waive a deliberate violation with a\n\
-                     justified line comment: '// lint: allow(<rule>): <reason>'.\n\n\
+                     catalog (R1-{last}, see DESIGN.md; `lead-lint explain` prints it).\n\
+                     Waive a deliberate violation with a justified line comment:\n\
+                     '// lint: allow(<rule>): <reason>'.\n\n\
                      --baseline enables ratchet mode: diagnostics listed in FILE (one\n\
                      'file:line:rule' per line) are suppressed, new diagnostics fail,\n\
                      and entries that no longer fire fail as stale-baseline."

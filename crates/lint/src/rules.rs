@@ -25,6 +25,10 @@
 //! ([`SANCTIONED_UNSAFE`]) and demands a `// SAFETY:` justification directly
 //! above every site, and R11 (`hot-loop-alloc`) bans allocation calls inside
 //! loop bodies of kernel-tagged modules (`[package.metadata.lead] kernel`).
+//!
+//! The interprocedural families — R12 (`panic-path`) and R13
+//! (`determinism-taint`) — live in [`crate::callgraph`] and propagate this
+//! module's site detection along the workspace call graph.
 
 use std::collections::BTreeSet;
 
@@ -34,21 +38,169 @@ use crate::manifest::Manifest;
 use crate::scan::{FileView, Line};
 use crate::workspace::{self, Import};
 
-/// The machine-readable rule identifiers, as used in waivers.
-pub const RULE_IDS: [&str; 12] = [
-    "hash-order",
-    "panic",
-    "thread-spawn",
-    "float-cast",
-    "float-eq",
-    "wall-clock",
-    "missing-doc",
-    "layering",
-    "error-contract",
-    "scope-drift",
-    "unsafe-contract",
-    "hot-loop-alloc",
+/// One rule's user-facing documentation: the `lead-lint explain` source of
+/// truth, mirrored by the DESIGN.md §10 table.
+pub struct RuleDoc {
+    /// The rule number as printed in docs (`"R4a"`/`"R4b"` share R4).
+    pub num: &'static str,
+    /// The machine-readable identifier, as used in waivers.
+    pub id: &'static str,
+    /// One-paragraph description: what the rule enforces, and why.
+    pub doc: &'static str,
+    /// An example waiver line for the rule.
+    pub waiver: &'static str,
+}
+
+/// The rule catalog documentation, in catalog order. [`RULE_IDS`] is derived
+/// from this table, so the identifier list can never drift from the docs.
+pub const RULE_DOCS: [RuleDoc; 14] = [
+    RuleDoc {
+        num: "R1",
+        id: "hash-order",
+        doc: "`HashMap`/`HashSet` are banned in result-affecting crates \
+              (lead-core, lead-nn, lead-eval, lead-obs): their iteration order \
+              varies across processes and silently reorders floating-point \
+              reductions, breaking the bit-identical parity contract. Use \
+              `BTreeMap`/`BTreeSet`, or sort explicitly before iterating.",
+        waiver: "// lint: allow(hash-order): order never observed, drained via sorted keys",
+    },
+    RuleDoc {
+        num: "R2",
+        id: "panic",
+        doc: "Library crates must not panic on degenerate input: `panic!`, \
+              `todo!`, `unimplemented!`, `unreachable!`, `.unwrap()`, \
+              `.expect(…)`, and indexing by integer literal are all flagged. \
+              Degenerate GPS days are data, not bugs — degrade to \
+              `Result`/`Option` with a typed error.",
+        waiver: "// lint: allow(panic): length checked two lines above",
+    },
+    RuleDoc {
+        num: "R3",
+        id: "thread-spawn",
+        doc: "`thread::spawn`/`thread::scope`/`thread::Builder` are allowed \
+              only in `lead_nn::par`, the fixed-order reduction layer; ad-hoc \
+              threads reintroduce scheduling nondeterminism that the parity \
+              tests cannot see.",
+        waiver: "// lint: allow(thread-spawn): watchdog thread, results never cross it",
+    },
+    RuleDoc {
+        num: "R4a",
+        id: "float-cast",
+        doc: "In numeric kernels, `as` casts to integer types truncate floats \
+              silently (NaN → 0), and `… as f32` narrows silently. Funnel \
+              conversions through the guarded helpers in `lead_nn::num`, or \
+              cast only from `len()`/`count()`/integer literals.",
+        waiver: "// lint: allow(float-cast): value proven in [0, 255] above",
+    },
+    RuleDoc {
+        num: "R4b",
+        id: "float-eq",
+        doc: "Exact `==`/`!=` against float literals or float constants in \
+              numeric kernels is brittle under reassociation and FMA. Compare \
+              with a tolerance, use `is_finite()`-style predicates, or compare \
+              bit patterns explicitly.",
+        waiver: "// lint: allow(float-eq): sentinel value assigned, never computed",
+    },
+    RuleDoc {
+        num: "R5",
+        id: "wall-clock",
+        doc: "`Instant`/`SystemTime` reads are banned in result-affecting \
+              crates outside the two sanctioned timing homes \
+              (`lead_eval::timing`, `lead_obs::clock`): wall-clock values in \
+              the result path make runs irreproducible.",
+        waiver: "// lint: allow(wall-clock): feeds a log line, never a result",
+    },
+    RuleDoc {
+        num: "R6",
+        id: "missing-doc",
+        doc: "Every `pub` item of the documented crates (lead-core, lead-nn, \
+              lead-data, lead-obs) carries a doc comment; the public surface \
+              is the paper-reproduction contract and stays self-describing.",
+        waiver: "// lint: allow(missing-doc): generated shim, documented at the trait",
+    },
+    RuleDoc {
+        num: "R7",
+        id: "layering",
+        doc: "Crate imports must follow the sanctioned dependency DAG in the \
+              classification table (`rules::CRATES`); an import that skips a \
+              layer or inverts an edge couples crates the architecture keeps \
+              apart. Dev-dependencies are legal inside `#[cfg(test)]`.",
+        waiver: "// lint: allow(layering): transitional, tracked in ROADMAP item 4",
+    },
+    RuleDoc {
+        num: "R8",
+        id: "error-contract",
+        doc: "Fallible public APIs return typed errors: `Result<_, String>` \
+              and `Box<dyn Error>` are unmatchable and banned as library \
+              error types, and in documented crates every `pub fn` returning \
+              `Result` carries an `# Errors` doc section.",
+        waiver: "// lint: allow(error-contract): FFI boundary, stringly by design",
+    },
+    RuleDoc {
+        num: "R9",
+        id: "scope-drift",
+        doc: "The classification table and the tree must agree: every crate \
+              directory appears in `rules::CRATES`, every manifest's \
+              `[package.metadata.lead] class` matches the table, and every \
+              sanctioned-scope path exists. Drift here silently widens or \
+              voids the other rules.",
+        waiver: "// lint: allow(scope-drift): crate split in flight, table follows",
+    },
+    RuleDoc {
+        num: "R10",
+        id: "unsafe-contract",
+        doc: "`unsafe` is confined to the sanctioned-module allowlist \
+              (`lead_nn::simd`), each site carrying a non-empty `// SAFETY:` \
+              justification directly above, and `allow(unsafe_code)` may \
+              re-open only a sanctioned module's crate-root declaration.",
+        waiver: "// lint: allow(unsafe-contract): justification lives on the wrapper above",
+    },
+    RuleDoc {
+        num: "R11",
+        id: "hot-loop-alloc",
+        doc: "Loop bodies of kernel-tagged modules (`[package.metadata.lead] \
+              kernel`) must not allocate (`push`/`collect`/`clone`/`Vec::new`/\
+              `format!`/…): per-iteration allocation is the dominant \
+              avoidable cost in the NN hot paths — hoist or reuse buffers.",
+        waiver: "// lint: allow(hot-loop-alloc): runs once per epoch, not per sample",
+    },
+    RuleDoc {
+        num: "R12",
+        id: "panic-path",
+        doc: "Interprocedural: no `pub fn` of a result-affecting crate may \
+              transitively reach a panic site (R2's detection) through the \
+              workspace call graph — a reachable panic takes down every \
+              caller at fleet scale. Sites inside `#[cfg(test)]` or on \
+              `debug_assert!` lines are exempt; diagnostics print the full \
+              witness path. A waiver on a site line exempts that site; on a \
+              `fn` declaration line it certifies the whole function.",
+        waiver: "// lint: allow(panic-path): guarded by the validate() call above",
+    },
+    RuleDoc {
+        num: "R13",
+        id: "determinism-taint",
+        doc: "Interprocedural: nondeterminism sources — wall-clock reads \
+              outside the sanctioned timing homes, `HashMap`/`HashSet` \
+              iteration, environment reads other than the sanctioned \
+              `LEAD_SIMD_FORCE` probe, and thread identity — must not be \
+              reachable from result-affecting crates' public APIs, even when \
+              laundered through helper crates the per-line rules cannot see \
+              across. Waiver placement works as in R12.",
+        waiver: "// lint: allow(determinism-taint): value feeds telemetry, not results",
+    },
 ];
+
+/// The machine-readable rule identifiers, as used in waivers. Derived from
+/// [`RULE_DOCS`] so the two can never drift.
+pub const RULE_IDS: [&str; 14] = {
+    let mut ids = [""; 14];
+    let mut i = 0;
+    while i < RULE_DOCS.len() {
+        ids[i] = RULE_DOCS[i].id;
+        i += 1;
+    }
+    ids
+};
 
 /// A crate's role in the workspace, deciding which rule families apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,9 +391,14 @@ pub fn scope_paths() -> impl Iterator<Item = &'static str> {
         .chain(SANCTIONED_UNSAFE.iter().map(|s| s.path))
 }
 
+/// Whether `rel` is one of the two sanctioned wall-clock homes (R5/R13).
+pub(crate) fn is_timing_file(rel: &str) -> bool {
+    TIMING_FILES.contains(&rel)
+}
+
 /// The classification of the crate owning `rel` (a workspace-relative source
 /// path), when it is in the table.
-fn class_of(rel: &str) -> Option<&'static CrateInfo> {
+pub(crate) fn class_of(rel: &str) -> Option<&'static CrateInfo> {
     if rel.starts_with("src/") {
         return crate_info_by_dir("");
     }
@@ -289,13 +446,25 @@ pub fn apply_file(
     view: &FileView,
     checks: Option<&FileChecks<'_>>,
 ) -> Vec<Diagnostic> {
+    apply_file_with(rel_path, view, checks, &[])
+}
+
+/// [`apply_file`], with `(line index, rule)` waivers already consumed by the
+/// interprocedural pass ([`crate::callgraph`]) fed in so waiver hygiene
+/// accounts for them.
+pub fn apply_file_with(
+    rel_path: &str,
+    view: &FileView,
+    checks: Option<&FileChecks<'_>>,
+    pre_used: &[(usize, String)],
+) -> Vec<Diagnostic> {
     let lines = view.lines.as_slice();
     let mut diags = Vec::new();
     // Which (line index, rule) pairs got waived, to detect unused waivers.
     // Tracked per (line, rule) — a line carrying violations of two rules
     // with only one waived must keep the waived rule silenced, fire the
     // other, and report no waiver-hygiene noise.
-    let mut used_waivers: Vec<(usize, String)> = Vec::new();
+    let mut used_waivers: Vec<(usize, String)> = pre_used.to_vec();
 
     for (i, line) in lines.iter().enumerate() {
         let mut fire = |rule: &'static str, col: usize, message: String| {
@@ -383,7 +552,7 @@ pub fn apply_file(
 
 /// Returns the satisfied waiver covering `rule` at line index `i`: either on
 /// the line itself or on a comment-only line directly above.
-fn waiver_for(lines: &[Line], i: usize, rule: &str) -> Option<(usize, String)> {
+pub(crate) fn waiver_for(lines: &[Line], i: usize, rule: &str) -> Option<(usize, String)> {
     let covers = |idx: usize| {
         lines[idx]
             .waivers
@@ -423,40 +592,61 @@ fn check_hash_order(code: &str, fire: &mut impl FnMut(&'static str, usize, Strin
 // R2 — panic
 // ---------------------------------------------------------------------------
 
-fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
+/// One potential panic site on a code line, shared between R2 (which fires
+/// `message` at the site) and R12 (which propagates `what` along the call
+/// graph).
+pub(crate) struct PanicSite {
+    /// 0-based byte position of the site on the line.
+    pub pos: usize,
+    /// Short description for witness paths (`` `.unwrap()` ``).
+    pub what: String,
+    /// The full R2 diagnostic message.
+    pub message: String,
+}
+
+/// R2's site detection over one code line, in catalog pattern order.
+pub(crate) fn panic_sites(code: &str) -> Vec<PanicSite> {
+    let mut sites = Vec::new();
     for pat in [".unwrap()", ".expect("] {
         if let Some(pos) = code.find(pat) {
-            fire(
-                "panic",
-                pos + 1,
-                format!(
+            sites.push(PanicSite {
+                pos,
+                what: format!("`{pat}`"),
+                message: format!(
                     "`{pat}` in library code: degenerate GPS days must degrade to \
                      `Result`/`Option`, not panic"
                 ),
-            );
+            });
         }
     }
     for mac in ["panic!", "todo!", "unimplemented!", "unreachable!"] {
         if find_word(code, mac.trim_end_matches('!')).is_some() {
             if let Some(pos) = code.find(mac) {
-                fire(
-                    "panic",
-                    pos + 1,
-                    format!("`{mac}` in library code: return a typed error instead"),
-                );
+                sites.push(PanicSite {
+                    pos,
+                    what: format!("`{mac}`"),
+                    message: format!("`{mac}` in library code: return a typed error instead"),
+                });
             }
         }
     }
     if let Some(idx) = find_literal_index(code) {
-        fire(
-            "panic",
-            idx.0 + 1,
-            format!(
+        sites.push(PanicSite {
+            pos: idx.0,
+            what: format!("indexing by literal `{}`", &code[idx.0..idx.1]),
+            message: format!(
                 "indexing by literal `{}` in library code: panics when the \
                  collection is shorter — use `.get(…)`, `.first()`, or destructuring",
                 &code[idx.0..idx.1]
             ),
-        );
+        });
+    }
+    sites
+}
+
+fn check_panic(code: &str, fire: &mut impl FnMut(&'static str, usize, String)) {
+    for site in panic_sites(code) {
+        fire("panic", site.pos + 1, site.message);
     }
 }
 
@@ -1166,7 +1356,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Finds `word` with identifier boundaries on both sides.
-fn find_word(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_word(code: &str, word: &str) -> Option<usize> {
     find_word_from(code, word, 0)
 }
 

@@ -491,13 +491,15 @@ fn list_rules_includes_the_cross_file_families() {
         .expect("run lead-lint");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     let rules: Vec<&str> = stdout.lines().collect();
-    assert_eq!(rules.len(), 12, "{stdout}");
+    assert_eq!(rules.len(), 14, "{stdout}");
     for id in [
         "layering",
         "error-contract",
         "scope-drift",
         "unsafe-contract",
         "hot-loop-alloc",
+        "panic-path",
+        "determinism-taint",
     ] {
         assert!(rules.contains(&id), "{stdout}");
     }

@@ -70,7 +70,7 @@ impl SelfAttention {
     pub fn aggregate(&self, g: &mut Graph, hs: &[Var]) -> Var {
         assert!(!hs.is_empty(), "attention over an empty sequence");
         let h_mat = g.concat_rows(hs); // T × hidden
-                                       // lint: allow(panic): hs non-empty is asserted at entry (documented # Panics)
+                                       // lint: allow(panic, panic-path): hs non-empty is asserted at entry (documented # Panics)
         let last = *hs.last().expect("non-empty");
         let wq = g.param(self.wq);
         let bq = g.param(self.bq);
@@ -93,7 +93,7 @@ impl SelfAttention {
     pub fn weights(&self, g: &mut Graph, hs: &[Var]) -> Var {
         assert!(!hs.is_empty(), "attention over an empty sequence");
         let h_mat = g.concat_rows(hs);
-        // lint: allow(panic): hs non-empty is asserted at entry (documented # Panics)
+        // lint: allow(panic, panic-path): hs non-empty is asserted at entry (documented # Panics)
         let last = *hs.last().expect("non-empty");
         let wq = g.param(self.wq);
         let bq = g.param(self.bq);

@@ -94,7 +94,7 @@ where
 
     slots
         .into_iter()
-        // lint: allow(panic): structural invariant — the index partition covers 0..n exactly once
+        // lint: allow(panic, panic-path): structural invariant — the index partition covers 0..n exactly once
         .map(|s| s.expect("par_map: every index visited exactly once"))
         .collect()
 }

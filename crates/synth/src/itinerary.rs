@@ -122,7 +122,7 @@ impl DayPlan {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Loading)
-            // lint: allow(panic): construction invariant — every generated plan contains at least one loading stop
+            // lint: allow(panic, panic-path): construction invariant — every generated plan contains at least one loading stop
             .expect("plan has a loading stop")
     }
 
@@ -131,7 +131,7 @@ impl DayPlan {
         self.stops
             .iter()
             .position(|s| s.kind == StayKind::Unloading)
-            // lint: allow(panic): construction invariant — every generated plan contains at least one unloading stop
+            // lint: allow(panic, panic-path): construction invariant — every generated plan contains at least one unloading stop
             .expect("plan has an unloading stop")
     }
 
@@ -288,7 +288,7 @@ fn pick_break_site<R: Rng>(
             _ => best = Some((s, detour)),
         }
     }
-    // lint: allow(panic): best is set on the first of the six draws; pool non-emptiness asserted above
+    // lint: allow(panic, panic-path): best is set on the first of the six draws; pool non-emptiness asserted above
     best.expect("pool is non-empty").0
 }
 

@@ -67,6 +67,65 @@ if [ "$(grep -c 'unsafe-contract' "$R10_TMP/out.txt")" -lt 2 ]; then
     exit 1
 fi
 
+# Interprocedural self-test 1: a `pub fn` of a result-affecting crate that
+# reaches `unwrap()` only through a private helper is invisible to the
+# file-local panic rule's public-surface argument; R12 must walk the call
+# graph and report the full witness path.
+echo "==> lead-lint R12 self-test (pub fn reaching a panic via a private helper must fail)"
+R12_TMP="target/tmp/r12-selftest"
+rm -rf "$R12_TMP"
+mkdir -p "$R12_TMP/crates/eval/src"
+printf '[workspace]\nmembers = ["crates/*"]\n' > "$R12_TMP/Cargo.toml"
+printf '[package]\nname = "lead-eval"\n\n[package.metadata.lead]\nclass = "result-lib"\n' \
+    > "$R12_TMP/crates/eval/Cargo.toml"
+printf '//! E.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\n/// Entry.\npub fn entry(o: Option<u32>) -> u32 {\n    helper(o)\n}\n\nfn helper(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n' \
+    > "$R12_TMP/crates/eval/src/lib.rs"
+if cargo run -q -p lead-lint --release -- --root "$R12_TMP" > "$R12_TMP/out.txt"; then
+    echo "lead-lint R12 self-test failed: planted panic path was NOT caught"
+    exit 1
+fi
+if ! grep -q 'panic-path' "$R12_TMP/out.txt"; then
+    echo "lead-lint R12 self-test failed: expected a panic-path diagnostic"
+    cat "$R12_TMP/out.txt"
+    exit 1
+fi
+if ! grep -q 'entry → helper' "$R12_TMP/out.txt"; then
+    echo "lead-lint R12 self-test failed: expected the witness path 'entry → helper'"
+    cat "$R12_TMP/out.txt"
+    exit 1
+fi
+
+# Interprocedural self-test 2: a wall-clock read laundered through a helper
+# crate (eval calls synth's now_ms) must be caught by R13 across the crate
+# boundary, not just at the site.
+echo "==> lead-lint R13 self-test (a clock laundered through a helper crate must fail)"
+R13_TMP="target/tmp/r13-selftest"
+rm -rf "$R13_TMP"
+mkdir -p "$R13_TMP/crates/eval/src" "$R13_TMP/crates/synth/src"
+printf '[workspace]\nmembers = ["crates/*"]\n' > "$R13_TMP/Cargo.toml"
+printf '[package]\nname = "lead-eval"\n\n[package.metadata.lead]\nclass = "result-lib"\n\n[dependencies]\nlead-synth = { path = "../synth" }\n' \
+    > "$R13_TMP/crates/eval/Cargo.toml"
+printf '//! E.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\n/// Entry.\npub fn entry() -> u64 {\n    lead_synth::now_ms()\n}\n' \
+    > "$R13_TMP/crates/eval/src/lib.rs"
+printf '[package]\nname = "lead-synth"\n\n[package.metadata.lead]\nclass = "lib"\n' \
+    > "$R13_TMP/crates/synth/Cargo.toml"
+printf '//! S.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\n/// Now.\npub fn now_ms() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_millis() as u64\n}\n' \
+    > "$R13_TMP/crates/synth/src/lib.rs"
+if cargo run -q -p lead-lint --release -- --root "$R13_TMP" > "$R13_TMP/out.txt"; then
+    echo "lead-lint R13 self-test failed: planted cross-crate taint was NOT caught"
+    exit 1
+fi
+if ! grep -q 'determinism-taint' "$R13_TMP/out.txt"; then
+    echo "lead-lint R13 self-test failed: expected a determinism-taint diagnostic"
+    cat "$R13_TMP/out.txt"
+    exit 1
+fi
+if ! grep -q 'entry → now_ms' "$R13_TMP/out.txt"; then
+    echo "lead-lint R13 self-test failed: expected the witness path 'entry → now_ms'"
+    cat "$R13_TMP/out.txt"
+    exit 1
+fi
+
 # Binary-format gate: a CSV -> binary -> CSV round trip must be byte-exact
 # (the sample uses grid-aligned coordinates, so fixed-point encoding is
 # provably lossless), and a planted flipped byte inside the first record
@@ -96,9 +155,9 @@ fi
 echo "==> bench-ratchet self-test (the gate must catch a planted regression)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- --self-test
 
-echo "==> bench-ratchet gate (results/BENCH_9.json vs bench.baseline)"
+echo "==> bench-ratchet gate (results/BENCH_10.json vs bench.baseline)"
 cargo run -q -p lead-bench --release --bin bench_ratchet -- \
-    --write results/BENCH_9.json --baseline bench.baseline
+    --write results/BENCH_10.json --baseline bench.baseline
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
